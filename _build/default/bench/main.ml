@@ -1,0 +1,174 @@
+(* The benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per paper table/figure
+      (measuring the regeneration of that figure's data from a shared
+      tiny dataset) plus a group of runtime micro-benchmarks (mark
+      operations, scheduler throughput per policy, reservation rounds,
+      cache simulation).
+
+   2. The figure tables themselves (the same rows/series the paper
+      reports), printed at the 'small' scale, or the scale named by the
+      BENCH_SCALE environment variable (tiny | small | paper).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+
+(* ------------------------------------------------------------------ *)
+(* Shared inputs for the micro-benchmarks. *)
+
+let tiny_data = lazy (Figures.Dataset.collect Figures.Scale.tiny)
+let tiny_timings = lazy (Figures.timings (Lazy.force tiny_data))
+
+let figure_test name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let t = Figures.timings (Lazy.force tiny_data) in
+         match List.find_opt (fun (n, _, _) -> n = name) (Figures.all_figures t) with
+         | Some (_, _, f) -> ignore (f ())
+         | None -> assert false))
+
+let figure_tests =
+  Test.make_grouped ~name:"figures"
+    (List.map figure_test
+       [
+         "fig4";
+         "fig5";
+         "fig6";
+         "fig7-m4x10";
+         "fig7-m4x6";
+         "fig7-numa8x4";
+         "fig8";
+         "fig9";
+         "fig10";
+         "fig11";
+         "fig12";
+         "summary";
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Runtime micro-benchmarks: the primitives the paper's overhead
+   analysis is about. *)
+
+let bench_claim_max =
+  Test.make ~name:"lock.claim_max"
+    (Staged.stage (fun () ->
+         let l = Galois.Lock.create () in
+         for i = 1 to 64 do
+           ignore (Galois.Lock.claim_max l i)
+         done;
+         Galois.Lock.force_clear l))
+
+let bench_try_claim =
+  Test.make ~name:"lock.try_claim+release"
+    (Staged.stage (fun () ->
+         let l = Galois.Lock.create () in
+         for _ = 1 to 64 do
+           ignore (Galois.Lock.try_claim l 1);
+           Galois.Lock.release l 1
+         done))
+
+let bucket_app policy () =
+  let k = 32 and n = 512 in
+  let locks = Galois.Lock.create_array k in
+  let cells = Array.make k 0 in
+  let operator ctx i =
+    let j = i mod k in
+    Galois.Context.acquire ctx locks.(j);
+    Galois.Context.failsafe ctx;
+    cells.(j) <- cells.(j) + 1
+  in
+  ignore (Galois.Runtime.for_each ~policy ~operator (Array.init n Fun.id))
+
+let bench_scheduler name policy = Test.make ~name (Staged.stage (bucket_app policy))
+
+let bench_detreserve =
+  Test.make ~name:"detreserve.speculative_for"
+    (Staged.stage (fun () ->
+         Parallel.Domain_pool.with_pool 2 (fun pool ->
+             let cells = Detreserve.Cell.create_array 64 in
+             ignore
+               (Detreserve.speculative_for ~granularity:64 ~pool ~n:512
+                  ~reserve:(fun i -> Detreserve.Cell.reserve cells.(i mod 64) i)
+                  ~commit:(fun i ->
+                    let c = cells.(i mod 64) in
+                    if Detreserve.Cell.holds c i then begin
+                      Detreserve.Cell.release c i;
+                      true
+                    end
+                    else begin
+                      Detreserve.Cell.release c i;
+                      false
+                    end)
+                  ()))))
+
+let bench_cachesim =
+  Test.make ~name:"cachesim.replay"
+    (Staged.stage (fun () ->
+         let h = Cachesim.Hierarchy.create ~l1_lines:64 ~l2_lines:256 ~l3_lines:1024 ~threads:2 () in
+         for i = 0 to 9999 do
+           Cachesim.Hierarchy.access h ~worker:(i land 1) (i * 17 mod 4096)
+         done))
+
+let bench_makespan =
+  Test.make ~name:"simmachine.makespan"
+    (Staged.stage (fun () ->
+         let costs = List.init 2048 (fun i -> float_of_int ((i mod 13) + 1)) in
+         ignore (Simmachine.Exec_model.makespan ~threads:40 costs)))
+
+let micro_tests =
+  Test.make_grouped ~name:"micro"
+    [
+      bench_claim_max;
+      bench_try_claim;
+      bench_scheduler "runtime.serial" Galois.Policy.serial;
+      bench_scheduler "runtime.nondet2" (Galois.Policy.nondet 2);
+      bench_scheduler "runtime.det2" (Galois.Policy.det 2);
+      bench_detreserve;
+      bench_cachesim;
+      bench_makespan;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver: measure, OLS-analyze, print one line per test. *)
+
+let run_bechamel tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Fmt.pr "  %-28s %12.1f ns/run@." name est
+      | _ -> Fmt.pr "  %-28s (no estimate)@." name)
+    rows
+
+let () =
+  (* Warm the shared dataset outside the measured region. *)
+  Fmt.pr "Preparing tiny dataset for micro-benchmarks...@.";
+  ignore (Lazy.force tiny_timings);
+
+  Fmt.pr "@.== Bechamel: runtime micro-benchmarks ==@.";
+  run_bechamel micro_tests;
+
+  Fmt.pr "@.== Bechamel: figure regeneration (tiny dataset) ==@.";
+  run_bechamel figure_tests;
+
+  (* The actual tables. *)
+  let scale_name = try Sys.getenv "BENCH_SCALE" with Not_found -> "small" in
+  let scale =
+    match Figures.Scale.by_name scale_name with
+    | Some s -> s
+    | None ->
+        Fmt.epr "unknown BENCH_SCALE %S, using small@." scale_name;
+        Figures.Scale.small
+  in
+  Fmt.pr "@.== Paper tables/figures at scale %s ==@." scale.Figures.Scale.name;
+  let data = Figures.Dataset.collect scale in
+  Figures.print_all (Figures.timings data)

@@ -1,0 +1,43 @@
+(* Regenerate the paper's tables and figures:
+
+     galois-figures                 # everything, small scale
+     galois-figures fig7-m4x10      # one figure
+     galois-figures --scale tiny    # quick smoke run *)
+
+open Cmdliner
+
+let run figure scale_name =
+  match Figures.Scale.by_name scale_name with
+  | None -> `Error (false, Printf.sprintf "unknown scale %S (tiny | small | paper)" scale_name)
+  | Some scale -> (
+      Fmt.pr "Collecting dataset at scale %s (this runs every benchmark variant)...@."
+        scale.Figures.Scale.name;
+      let data = Figures.Dataset.collect scale in
+      let t = Figures.timings data in
+      match figure with
+      | None ->
+          Figures.print_all t;
+          `Ok ()
+      | Some name -> (
+          match Figures.print_figure t name with
+          | Ok () -> `Ok ()
+          | Error e -> `Error (false, e)))
+
+let figure_arg =
+  let doc =
+    "Figure to regenerate (fig4, fig5, fig6, fig7-m4x10, fig7-m4x6, fig7-numa8x4, fig8, fig9, \
+     fig10, fig11, fig12, summary). Omit to print all."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+
+let scale_arg =
+  let doc = "Input scale: tiny | small | paper." in
+  Arg.(value & opt string "small" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let cmd =
+  let doc = "regenerate the evaluation tables/figures of the Deterministic Galois paper" in
+  Cmd.v
+    (Cmd.info "galois-figures" ~version:"1.0.0" ~doc)
+    Term.(ret (const run $ figure_arg $ scale_arg))
+
+let () = exit (Cmd.eval cmd)

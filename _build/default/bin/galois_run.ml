@@ -1,0 +1,149 @@
+(* The command-line driver: run any benchmark under any execution
+   policy. This is the paper's on-demand determinism in practice — the
+   application code is fixed; [--policy serial|nondet:T|det:T] picks the
+   scheduler at run time. *)
+
+let run_app ~app ~policy ~size ~seed ~verbose =
+  let pp_stats name (stats : Galois.Stats.t) =
+    Fmt.pr "%s (%a):@." name Galois.Policy.pp policy;
+    Fmt.pr "  %a@." Galois.Stats.pp stats
+  in
+  match app with
+  | "bfs" ->
+      let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
+      let dist, report = Apps.Bfs.galois ~policy g ~source:0 in
+      pp_stats "bfs" report.stats;
+      let reached = Array.fold_left (fun a d -> if d <> Apps.Bfs.unreached then a + 1 else a) 0 dist in
+      Fmt.pr "  reached %d of %d nodes; valid=%b@." reached size
+        (Apps.Bfs.validate g ~source:0 dist);
+      if verbose then
+        Fmt.pr "  first distances: %a@."
+          Fmt.(list ~sep:sp int)
+          (Array.to_list (Array.sub dist 0 (min 20 size)));
+      `Ok ()
+  | "mis" ->
+      let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:5 ()) in
+      let in_mis, report = Apps.Mis.galois ~policy g in
+      pp_stats "mis" report.stats;
+      let members = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_mis in
+      Fmt.pr "  |MIS| = %d; valid=%b@." members (Apps.Mis.is_maximal_independent g in_mis);
+      `Ok ()
+  | "dt" ->
+      let pts = Geometry.Point.random_unit_square ~seed size in
+      let mesh, report = Apps.Dt.galois ~policy pts in
+      pp_stats "dt" report.stats;
+      Fmt.pr "  triangles=%d, delaunay violations=%d@." (Mesh.triangle_count mesh)
+        (Mesh.delaunay_violations mesh);
+      `Ok ()
+  | "dmr" ->
+      let pts = Geometry.Point.random_unit_square ~seed size in
+      let mesh = Apps.Dt.serial pts in
+      let before = Mesh.triangle_count mesh in
+      let report = Apps.Dmr.galois ~policy mesh in
+      pp_stats "dmr" report.stats;
+      Fmt.pr "  triangles %d -> %d; refined=%b@." before (Mesh.triangle_count mesh)
+        (Apps.Dmr.refined Apps.Dmr.default_config mesh);
+      `Ok ()
+  | "pfp" ->
+      let g, caps, source, sink = Graphlib.Generators.flow_network ~seed ~n:size ~k:4 () in
+      let net = Apps.Flow_network.of_graph g caps ~source ~sink in
+      let result = Apps.Pfp.galois ~policy net in
+      pp_stats "pfp" result.stats;
+      let ok, _ = Apps.Flow_network.check_flow net in
+      Fmt.pr "  max flow=%d; epochs=%d; global relabels=%d; conservation=%b@."
+        result.flow_value result.epochs result.global_relabels ok;
+      `Ok ()
+  | "cc" ->
+      let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:5 ()) in
+      let label, report = Apps.Cc.galois ~policy g in
+      pp_stats "cc" report.stats;
+      Fmt.pr "  %d components; valid=%b@." (Apps.Cc.count_components label)
+        (Apps.Cc.validate g label);
+      `Ok ()
+  | "sssp" ->
+      let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
+      let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
+      let dist, report = Apps.Sssp.galois ~policy g w ~source:0 in
+      pp_stats "sssp" report.stats;
+      let reached =
+        Array.fold_left (fun a d -> if d <> Apps.Sssp.unreached then a + 1 else a) 0 dist
+      in
+      Fmt.pr "  reached %d of %d; valid=%b@." reached size (Apps.Sssp.validate g w ~source:0 dist);
+      `Ok ()
+  | "mst" ->
+      let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:4 ()) in
+      let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
+      let forest, report = Apps.Boruvka.galois ~policy g w in
+      pp_stats "mst (boruvka)" report.stats;
+      Fmt.pr "  forest: %d edges, total weight %d; valid=%b@."
+        (List.length forest.Apps.Boruvka.parent_edge) forest.Apps.Boruvka.total_weight
+        (Apps.Boruvka.validate g forest);
+      `Ok ()
+  | "triangles" ->
+      let g = Graphlib.Csr.symmetrize (Graphlib.Generators.rmat ~seed ~scale:11 ~edge_factor:8 ()) in
+      let total, report = Apps.Triangles.galois ~policy g in
+      pp_stats "triangles" report.stats;
+      Fmt.pr "  %d triangles@." total;
+      `Ok ()
+  | "pagerank" ->
+      let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
+      let ranks, report = Apps.Pagerank.galois ~policy g in
+      pp_stats "pagerank" report.stats;
+      let reference = Apps.Pagerank.serial g in
+      Fmt.pr "  max deviation from power iteration: %.5f@."
+        (Apps.Pagerank.max_abs_diff ranks reference);
+      `Ok ()
+  | other -> `Error (false, Printf.sprintf "unknown app %S" other)
+
+open Cmdliner
+
+let app_arg =
+  let doc = "Benchmark to run: bfs | mis | dt | dmr | pfp | cc | sssp | mst | triangles | pagerank." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let policy_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Galois.Policy.of_string s) in
+  let print ppf p = Galois.Policy.pp ppf p in
+  let policy_conv = Arg.conv (parse, print) in
+  let doc =
+    "Execution policy: $(b,serial), $(b,nondet:T) (speculative, T threads) or $(b,det:T) \
+     (deterministic DIG scheduling). The program's code is identical under every policy."
+  in
+  Arg.(value & opt policy_conv Galois.Policy.serial & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let size_arg =
+  let doc = "Input size (nodes / points, app-dependent)." in
+  Arg.(value & opt int 10_000 & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Input generator seed (same seed = same input everywhere)." in
+  Arg.(value & opt int 2014 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Print sample output values." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let cmd =
+  let doc = "run Deterministic Galois benchmarks under a chosen execution policy" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reproduction of 'Deterministic Galois: On-demand, Portable and Parameterless' \
+         (ASPLOS 2014). The same application source runs non-deterministically \
+         (fast, timing-dependent answers) or deterministically (identical output for \
+         any thread count) depending on --policy.";
+      `S Manpage.s_examples;
+      `P "galois-run dmr -n 2000 --policy det:4";
+      `P "galois-run bfs -n 100000 --policy nondet:8";
+    ]
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun app policy size seed verbose -> run_app ~app ~policy ~size ~seed ~verbose)
+        $ app_arg $ policy_arg $ size_arg $ seed_arg $ verbose_arg))
+  in
+  Cmd.v (Cmd.info "galois-run" ~version:"1.0.0" ~doc ~man) term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/mesh_refinement.ml: Apps Fmt Galois Geometry List Mesh

@@ -1,0 +1,1 @@
+examples/reproducible_debugging.ml: Array Fmt Galois Hashtbl List

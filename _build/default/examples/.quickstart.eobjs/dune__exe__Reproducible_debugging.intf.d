@@ -1,0 +1,1 @@
+examples/reproducible_debugging.mli:

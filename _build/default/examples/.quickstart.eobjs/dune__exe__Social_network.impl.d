@@ -1,0 +1,1 @@
+examples/social_network.ml: Apps Array Fmt Galois Graphlib Hashtbl List Option Sys

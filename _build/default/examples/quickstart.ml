@@ -1,0 +1,46 @@
+(* Quickstart: a complete Galois program in ~30 lines.
+
+   The program: an unordered "account settlement". Each task moves the
+   balance of one account into its hub account. Tasks conflict when they
+   share a hub — the classic irregular pattern.
+
+   The same operator runs serially, speculatively in parallel, or
+   deterministically; only the policy changes.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let accounts = 1000 and hubs = 16 in
+  let hub_of i = i mod hubs in
+  (* One abstract location per hub: tasks touching the same hub
+     conflict. *)
+  let hub_locks = Galois.Lock.create_array hubs in
+  let hub_balance = Array.make hubs 0 in
+  let balance = Array.init accounts (fun i -> 10 + (i mod 7)) in
+
+  (* The operator: acquire the neighborhood, declare the failsafe point,
+     then mutate. This code never changes between policies. *)
+  let operator ctx account =
+    Galois.Context.acquire ctx hub_locks.(hub_of account);
+    Galois.Context.failsafe ctx;
+    hub_balance.(hub_of account) <- hub_balance.(hub_of account) + balance.(account);
+    balance.(account) <- 0
+  in
+
+  let run policy =
+    Array.fill hub_balance 0 hubs 0;
+    Array.iteri (fun i _ -> balance.(i) <- 10 + (i mod 7)) balance;
+    let report =
+      Galois.Runtime.for_each ~policy ~operator (Array.init accounts (fun i -> i))
+    in
+    Fmt.pr "%a: commits=%d aborts=%d rounds=%d total=%d@." Galois.Policy.pp policy
+      report.stats.commits report.stats.aborts report.stats.rounds
+      (Array.fold_left ( + ) 0 hub_balance)
+  in
+
+  Fmt.pr "The same program under three execution policies:@.";
+  run Galois.Policy.serial;
+  run (Galois.Policy.nondet 4);
+  run (Galois.Policy.det 4);
+  Fmt.pr "@.The total is always the same (the algorithm is deterministic here);@.";
+  Fmt.pr "'det' additionally guarantees identical execution structure on any machine.@."

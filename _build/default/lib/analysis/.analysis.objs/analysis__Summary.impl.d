@@ -1,0 +1,1 @@
+lib/analysis/summary.ml: Float List

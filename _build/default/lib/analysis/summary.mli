@@ -1,0 +1,9 @@
+(** Summary statistics (medians etc.) for result tables. All raise
+    [Invalid_argument] on empty input; {!geomean} also on non-positive
+    values. *)
+
+val mean : float list -> float
+val median : float list -> float
+val geomean : float list -> float
+val maximum : float list -> float
+val minimum : float list -> float

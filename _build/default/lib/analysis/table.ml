@@ -1,0 +1,37 @@
+(* Plain-text table rendering for the figure harness: aligned columns,
+   a header rule, no external dependencies beyond Fmt. *)
+
+type t = { header : string list; rows : string list list }
+
+let make ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Table.make: row width differs from header")
+    rows;
+  { header; rows }
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.length t.header in
+  List.init cols (fun c ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all)
+
+let pp ppf t =
+  let ws = widths t in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    String.concat "  " (List.map2 pad row ws)
+  in
+  Fmt.pf ppf "%s@." (render_row t.header);
+  Fmt.pf ppf "%s@." (String.concat "  " (List.map (fun w -> String.make w '-') ws));
+  List.iter (fun row -> Fmt.pf ppf "%s@." (render_row row)) t.rows
+
+let print t = pp Fmt.stdout t
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+let xf x = Printf.sprintf "%.2fX" x
+let i x = string_of_int x

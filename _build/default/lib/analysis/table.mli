@@ -1,0 +1,20 @@
+(** Aligned plain-text tables for the figure-regeneration harness. *)
+
+type t
+
+val make : header:string list -> string list list -> t
+(** Raises [Invalid_argument] on ragged rows. *)
+
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+
+(** Cell formatting shorthands. *)
+
+val f1 : float -> string
+val f2 : float -> string
+val f3 : float -> string
+val f4 : float -> string
+val xf : float -> string
+(** ["1.23X"] style ratios. *)
+
+val i : int -> string

@@ -1,0 +1,1 @@
+lib/apps/bfs.ml: Array Detreserve Galois Graphlib List Parallel Queue

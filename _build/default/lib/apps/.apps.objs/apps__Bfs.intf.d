@@ -1,0 +1,1 @@
+lib/apps/bfs.mli: Galois Graphlib Parallel

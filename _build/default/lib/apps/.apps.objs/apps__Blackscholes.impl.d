@@ -1,0 +1,1 @@
+lib/apps/blackscholes.ml: Array Atomic Float Kernel_profile Parallel Unix

@@ -1,0 +1,1 @@
+lib/apps/blackscholes.mli: Kernel_profile Parallel

@@ -1,0 +1,1 @@
+lib/apps/bodytrack.ml: Array Float Kernel_profile Parallel Unix

@@ -1,0 +1,1 @@
+lib/apps/bodytrack.mli: Kernel_profile Parallel

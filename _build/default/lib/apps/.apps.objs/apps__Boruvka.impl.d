@@ -1,0 +1,1 @@
+lib/apps/boruvka.ml: Array Fun Galois Graphlib List

@@ -1,0 +1,1 @@
+lib/apps/boruvka.mli: Galois Graphlib Parallel

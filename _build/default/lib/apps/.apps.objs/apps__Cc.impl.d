@@ -1,0 +1,1 @@
+lib/apps/cc.ml: Array Fun Galois Graphlib Hashtbl

@@ -1,0 +1,1 @@
+lib/apps/cc.mli: Galois Graphlib Parallel

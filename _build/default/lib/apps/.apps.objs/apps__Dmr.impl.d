@@ -1,0 +1,1 @@
+lib/apps/dmr.ml: Array Detreserve Float Galois Geometry Hashtbl List Mesh Mutex

@@ -1,0 +1,1 @@
+lib/apps/dmr.mli: Detreserve Galois Geometry Mesh Parallel

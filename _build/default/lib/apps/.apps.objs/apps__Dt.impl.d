@@ -1,0 +1,1 @@
+lib/apps/dt.ml: Array Detreserve Fun Galois Geometry List Mesh

@@ -1,0 +1,1 @@
+lib/apps/dt.mli: Detreserve Galois Geometry Mesh Parallel

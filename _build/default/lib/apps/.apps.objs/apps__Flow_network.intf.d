@@ -1,0 +1,1 @@
+lib/apps/flow_network.mli: Graphlib

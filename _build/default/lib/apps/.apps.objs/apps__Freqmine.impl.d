@@ -1,0 +1,1 @@
+lib/apps/freqmine.ml: Array Fun Hashtbl Kernel_profile List Option Parallel Unix

@@ -1,0 +1,1 @@
+lib/apps/freqmine.mli: Kernel_profile Parallel

@@ -1,0 +1,1 @@
+lib/apps/kernel_profile.ml: Array

@@ -1,0 +1,1 @@
+lib/apps/mis.ml: Array Detreserve Fun Galois Graphlib

@@ -1,0 +1,1 @@
+lib/apps/mis.mli: Detreserve Galois Graphlib Parallel

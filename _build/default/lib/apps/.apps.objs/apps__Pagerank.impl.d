@@ -1,0 +1,1 @@
+lib/apps/pagerank.ml: Array Float Fun Galois Graphlib

@@ -1,0 +1,1 @@
+lib/apps/pfp.ml: Array Flow_network Fun Galois List Queue

@@ -1,0 +1,1 @@
+lib/apps/pfp.mli: Flow_network Galois Parallel

@@ -1,0 +1,1 @@
+lib/apps/sssp.ml: Array Galois Graphlib

@@ -1,0 +1,1 @@
+lib/apps/sssp.mli: Galois Graphlib Parallel

@@ -1,0 +1,1 @@
+lib/apps/triangles.ml: Array Fun Galois Graphlib

@@ -1,0 +1,1 @@
+lib/apps/triangles.mli: Galois Graphlib Parallel

@@ -1,0 +1,26 @@
+(** Breadth-first search (paper §4.1). *)
+
+val unreached : int
+(** Distance value of unreachable nodes ([max_int]). *)
+
+val galois :
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  source:int ->
+  int array * Galois.Runtime.report
+(** Lonestar-style unordered label-correcting BFS: runs
+    non-deterministically or deterministically by policy (the paper's
+    g-n / g-d variants). Returns the distance array. *)
+
+val serial : Graphlib.Csr.t -> source:int -> int array
+(** Optimized sequential queue BFS (the Fig. 8 baseline role). *)
+
+val pbbs :
+  pool:Parallel.Domain_pool.t -> Graphlib.Csr.t -> source:int -> int array * int array * int
+(** PBBS detBFS: level-synchronous with deterministic min-parent
+    resolution. Returns (distances, parents, levels). *)
+
+val validate : Graphlib.Csr.t -> source:int -> int array -> bool
+(** Checks a distance labelling against the BFS definition. *)

@@ -1,0 +1,18 @@
+(** Annealed particle filter: PARSEC bodytrack's computational skeleton
+    (per-particle weighting tasks, a few barriers per frame). *)
+
+type config = {
+  particles : int;
+  frames : int;
+  layers : int;
+  state_dim : int;
+  seed : int;
+}
+
+val default_config : config
+
+type result = { mean_error : float; profile : Kernel_profile.t }
+
+val run : ?config:config -> pool:Parallel.Domain_pool.t -> unit -> result
+(** Deterministic in the config; [mean_error] measures tracking
+    quality against the hidden trajectory. *)

@@ -1,0 +1,22 @@
+(** Boruvka's minimum spanning forest as an unordered Galois program.
+
+    Requires a symmetric graph with direction-symmetric weights
+    ({!Graphlib.Graph_io.undirected_random_weights}); ties break by edge
+    id, making the forest weight unique across all policies. *)
+
+type forest = { parent_edge : int list; total_weight : int }
+
+val galois :
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  int array ->
+  forest * Galois.Runtime.report
+
+val serial : Graphlib.Csr.t -> int array -> forest
+(** Kruskal with (weight, edge id) ordering — defines the deterministic
+    answer. *)
+
+val validate : Graphlib.Csr.t -> forest -> bool
+(** Acyclic and spanning (forest components = graph components). *)

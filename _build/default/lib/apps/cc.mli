@@ -1,0 +1,16 @@
+(** Connected components by label propagation (Galois program) and
+    union-find (sequential baseline). The graph must be symmetric. *)
+
+val galois :
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  int array * Galois.Runtime.report
+(** Minimum-label propagation. The result — minimum node id per
+    component — is unique, so every policy agrees. *)
+
+val serial : Graphlib.Csr.t -> int array
+
+val count_components : int array -> int
+val validate : Graphlib.Csr.t -> int array -> bool

@@ -1,0 +1,30 @@
+(** Delaunay triangulation by parallel incremental insertion
+    (Bowyer–Watson cavities; paper §4.1). *)
+
+type state
+(** Internal per-run state (mesh + point containers). *)
+
+val galois :
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Geometry.Point.t array ->
+  Mesh.t * Galois.Runtime.report
+(** Triangulate the points under any policy. The synthetic bounding
+    vertices are stripped before returning; the result is the Delaunay
+    triangulation of the points' convex hull. *)
+
+val serial : Geometry.Point.t array -> Mesh.t
+
+val pbbs :
+  ?granularity:int ->
+  pool:Parallel.Domain_pool.t ->
+  Geometry.Point.t array ->
+  Mesh.t * Detreserve.stats
+(** Handwritten deterministic variant via deterministic reservations
+    over insertion priorities. *)
+
+val canonical : Mesh.t -> (float * float) list list
+(** Order-independent fingerprint of a mesh: sorted triangle coordinate
+    triples. Two runs produced the same triangulation iff their
+    canonical forms are equal. *)

@@ -1,0 +1,109 @@
+(* Residual flow networks for preflow-push.
+
+   Every directed input edge becomes a forward/backward residual pair;
+   [rev] maps an edge to its partner, so pushing flow is two capacity
+   updates. Capacities are the only mutable state. *)
+
+module Csr = Graphlib.Csr
+
+type t = {
+  nodes : int;
+  offsets : int array;
+  targets : int array;
+  rev : int array;
+  cap : int array;  (* mutable residual capacities *)
+  initial_cap : int array;  (* residual capacities before any pushes *)
+  source : int;
+  sink : int;
+}
+
+let nodes t = t.nodes
+let edge_range t u = (t.offsets.(u), t.offsets.(u + 1))
+let edge_target t e = t.targets.(e)
+
+let of_graph g caps ~source ~sink =
+  let n = Csr.nodes g in
+  if source = sink then invalid_arg "Flow_network.of_graph: source equals sink";
+  let edge_list = Csr.all_edges g in
+  if Array.length caps <> Array.length edge_list then
+    invalid_arg "Flow_network.of_graph: capacity array size mismatch";
+  let degree = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      degree.(u) <- degree.(u) + 1;
+      degree.(v) <- degree.(v) + 1)
+    edge_list;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + degree.(u)
+  done;
+  let m2 = offsets.(n) in
+  let cursor = Array.copy offsets in
+  let targets = Array.make m2 0 and rev = Array.make m2 0 and cap = Array.make m2 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      let pf = cursor.(u) in
+      cursor.(u) <- pf + 1;
+      let pb = cursor.(v) in
+      cursor.(v) <- pb + 1;
+      targets.(pf) <- v;
+      targets.(pb) <- u;
+      cap.(pf) <- caps.(i);
+      cap.(pb) <- 0;
+      rev.(pf) <- pb;
+      rev.(pb) <- pf)
+    edge_list;
+  { nodes = n; offsets; targets; rev; cap; initial_cap = Array.copy cap; source; sink }
+
+(* Exact distance-to-sink labels over the current residual graph — the
+   global relabeling heuristic. Heights never decrease (max with the old
+   label keeps the labeling valid); source stays pinned at n; nodes that
+   cannot reach the sink get at least n. *)
+let global_relabel t height =
+  let n = t.nodes in
+  let dist = Array.make n (-1) in
+  dist.(t.sink) <- 0;
+  let queue = Queue.create () in
+  Queue.add t.sink queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let lo, hi = edge_range t v in
+    for e = lo to hi - 1 do
+      (* u -> v has residual capacity iff the reverse of v's edge to u
+         does. *)
+      let u = t.targets.(e) in
+      if dist.(u) = -1 && t.cap.(t.rev.(e)) > 0 then begin
+        dist.(u) <- dist.(v) + 1;
+        Queue.add u queue
+      end
+    done
+  done;
+  for u = 0 to n - 1 do
+    if u <> t.source then
+      height.(u) <- max height.(u) (if dist.(u) >= 0 then dist.(u) else n)
+  done;
+  height.(t.source) <- n
+
+(* Flow conservation check for validation: for every node besides source
+   and sink, inflow = outflow; returns the flow value (sink inflow). *)
+let check_flow t =
+  (* Net flow along residual edge e = initial - current capacity;
+     positive means flow was pushed in e's direction. Summing positive
+     directions only avoids double counting the reverse pair. *)
+  let n = t.nodes in
+  let balance = Array.make n 0 in
+  Array.iteri
+    (fun e orig ->
+      let f = orig - t.cap.(e) in
+      if f > 0 then begin
+        let v = t.targets.(e) in
+        let u = t.targets.(t.rev.(e)) in
+        balance.(u) <- balance.(u) - f;
+        balance.(v) <- balance.(v) + f
+      end)
+    t.initial_cap;
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    if u <> t.source && u <> t.sink && balance.(u) <> 0 then ok := false
+  done;
+  (!ok, balance.(t.sink))

@@ -1,0 +1,29 @@
+(** Residual flow networks for preflow-push. *)
+
+type t = {
+  nodes : int;
+  offsets : int array;
+  targets : int array;
+  rev : int array;  (** edge -> reverse edge *)
+  cap : int array;  (** mutable residual capacities *)
+  initial_cap : int array;
+  source : int;
+  sink : int;
+}
+
+val nodes : t -> int
+val edge_range : t -> int -> int * int
+val edge_target : t -> int -> int
+
+val of_graph : Graphlib.Csr.t -> int array -> source:int -> sink:int -> t
+(** Build the residual pair structure from a directed graph and its
+    capacities. Raises [Invalid_argument] on size mismatch or
+    [source = sink]. *)
+
+val global_relabel : t -> int array -> unit
+(** Raise heights to exact residual distances-to-sink (never decreases a
+    height; pins the source at [n]). *)
+
+val check_flow : t -> bool * int
+(** (conservation holds at every internal node, flow value at the
+    sink). *)

@@ -1,0 +1,171 @@
+(* FP-growth frequent itemset mining: the computational skeleton of
+   PARSEC's freqmine. Build an FP-tree over a transaction database, then
+   mine frequent itemsets by recursive projection. Parallelism: one task
+   per frequent item's projected subtree — coarse and irregular in size,
+   with a couple of barriers and almost no atomic traffic. *)
+
+type config = {
+  transactions : int;
+  items : int;  (* item universe size *)
+  avg_length : int;  (* average transaction length *)
+  min_support : int;
+  seed : int;
+}
+
+let default_config =
+  { transactions = 2000; items = 200; avg_length = 10; min_support = 20; seed = 23 }
+
+(* Zipf-ish skewed item popularity, as in real market-basket data. *)
+let generate cfg =
+  let g = Parallel.Splitmix.create cfg.seed in
+  let pick () =
+    (* Inverse-power sampling: item rank r with probability ~ 1/(r+1). *)
+    let u = Parallel.Splitmix.float g in
+    let r = int_of_float (float_of_int cfg.items ** u) - 1 in
+    min (cfg.items - 1) (max 0 r)
+  in
+  Array.init cfg.transactions (fun _ ->
+      let len = 1 + Parallel.Splitmix.int g (2 * cfg.avg_length) in
+      List.sort_uniq compare (List.init len (fun _ -> pick ())))
+
+(* FP-tree: children keyed by item; [count] = transactions through this
+   node. *)
+type node = {
+  item : int;
+  mutable count : int;
+  mutable children : (int * node) list;
+  parent : node option;
+}
+
+let new_node ?parent item = { item; count = 0; children = []; parent }
+
+let insert_path root path =
+  let rec go node = function
+    | [] -> ()
+    | item :: rest ->
+        let child =
+          match List.assoc_opt item node.children with
+          | Some c -> c
+          | None ->
+              let c = new_node ~parent:node item in
+              node.children <- (item, c) :: node.children;
+              c
+        in
+        child.count <- child.count + 1;
+        go child rest
+  in
+  go root path
+
+(* Collect all nodes for each item (the header table). *)
+let header_table root =
+  let table = Hashtbl.create 64 in
+  let rec walk node =
+    List.iter
+      (fun (item, c) ->
+        Hashtbl.replace table item (c :: Option.value ~default:[] (Hashtbl.find_opt table item));
+        walk c)
+      node.children
+  in
+  walk root;
+  table
+
+(* Conditional pattern base of an item: prefix paths with counts. *)
+let conditional_paths table item =
+  match Hashtbl.find_opt table item with
+  | None -> []
+  | Some nodes ->
+      List.filter_map
+        (fun n ->
+          let rec prefix acc node =
+            match node.parent with
+            | None -> acc
+            | Some p -> if p.item < 0 then acc else prefix (p.item :: acc) p
+          in
+          let path = prefix [] n in
+          if path = [] then None else Some (path, n.count))
+        nodes
+
+(* Count of frequent itemsets (including the singleton) rooted at a
+   suffix, by recursive conditional FP-trees. Also accumulates abstract
+   work. *)
+let rec mine ~min_support paths work =
+  (* Count item frequencies inside the conditional base. *)
+  let freq = Hashtbl.create 16 in
+  List.iter
+    (fun (path, c) ->
+      List.iter
+        (fun item ->
+          Hashtbl.replace freq item (c + Option.value ~default:0 (Hashtbl.find_opt freq item)))
+        path)
+    paths;
+  let frequent = Hashtbl.fold (fun i c acc -> if c >= min_support then i :: acc else acc) freq [] in
+  let frequent = List.sort compare frequent in
+  work := !work + List.length paths + List.length frequent;
+  List.fold_left
+    (fun acc item ->
+      (* Build the conditional base for [item] within these paths. *)
+      let sub =
+        List.filter_map
+          (fun (path, c) ->
+            let rec before acc = function
+              | [] -> None
+              | x :: rest -> if x = item then Some (List.rev acc) else before (x :: acc) rest
+            in
+            match before [] path with
+            | Some [] | None -> None
+            | Some prefix -> Some (prefix, c))
+          paths
+      in
+      acc + 1 + mine ~min_support sub work)
+    0 frequent
+
+let run ?(config = default_config) ~pool () =
+  let db = generate config in
+  let t0 = Unix.gettimeofday () in
+  (* Pass 1 (parallel): global item frequencies via per-worker partial
+     counts. *)
+  let workers = Parallel.Domain_pool.size pool in
+  let partial = Array.init workers (fun _ -> Array.make config.items 0) in
+  Parallel.Domain_pool.parallel_for_workers pool 0 config.transactions (fun w lo hi ->
+      let mine_counts = partial.(w) in
+      for t = lo to hi - 1 do
+        List.iter (fun item -> mine_counts.(item) <- mine_counts.(item) + 1) db.(t)
+      done);
+  let counts = Array.make config.items 0 in
+  Array.iter (fun p -> Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) p) partial;
+  (* Pass 2 (sequential, as in freqmine's tree build): insert
+     transactions with infrequent items dropped and items ordered by
+     descending frequency. *)
+  let order i j = if counts.(j) <> counts.(i) then compare counts.(j) counts.(i) else compare i j in
+  let root = new_node (-1) in
+  Array.iter
+    (fun tx ->
+      let path = List.sort order (List.filter (fun i -> counts.(i) >= config.min_support) tx) in
+      insert_path root path)
+    db;
+  let table = header_table root in
+  let frequent_items =
+    List.sort order
+      (Array.to_list (Array.init config.items Fun.id)
+      |> List.filter (fun i -> counts.(i) >= config.min_support))
+  in
+  (* Pass 3 (parallel): mine one projected subtree per frequent item —
+     irregular task sizes, the freqmine signature. *)
+  let items = Array.of_list frequent_items in
+  let results = Array.make (Array.length items) 0 in
+  let costs = Array.make (Array.length items) 0 in
+  Parallel.Domain_pool.parallel_for ~chunk:1 pool 0 (Array.length items) (fun idx ->
+      let work = ref 0 in
+      let paths = conditional_paths table items.(idx) in
+      results.(idx) <- 1 + mine ~min_support:config.min_support paths work;
+      costs.(idx) <- 1 + !work);
+  let total = Array.fold_left ( + ) 0 results in
+  let time_s = Unix.gettimeofday () -. t0 in
+  ( total,
+    {
+      Kernel_profile.tasks = Array.length items;
+      atomics = Array.length items + (2 * workers);
+      barriers = 3;
+      time_s;
+      task_costs = costs;
+    } )

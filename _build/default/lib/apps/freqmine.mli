@@ -1,0 +1,19 @@
+(** FP-growth frequent itemset mining: PARSEC freqmine's computational
+    skeleton (irregularly sized per-item mining tasks). *)
+
+type config = {
+  transactions : int;
+  items : int;
+  avg_length : int;
+  min_support : int;
+  seed : int;
+}
+
+val default_config : config
+
+val generate : config -> int list array
+(** Synthetic transaction database with skewed item popularity. *)
+
+val run : ?config:config -> pool:Parallel.Domain_pool.t -> unit -> int * Kernel_profile.t
+(** Returns (number of frequent itemsets, execution profile).
+    Deterministic in the config. *)

@@ -1,0 +1,22 @@
+(** Maximal independent set (paper §4.1). The graph must be symmetric. *)
+
+val galois :
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  bool array * Galois.Runtime.report
+(** Lonestar greedy MIS under any policy. Result depends on the schedule
+    (unless deterministic), but is always a valid MIS. *)
+
+val serial : Graphlib.Csr.t -> bool array
+(** Greedy in node order: the lexicographically-first MIS. *)
+
+val pbbs :
+  ?granularity:int ->
+  pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  bool array * Detreserve.stats
+(** Deterministic-reservations MIS; equals {!serial}'s output. *)
+
+val is_maximal_independent : Graphlib.Csr.t -> bool array -> bool

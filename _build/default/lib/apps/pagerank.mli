@@ -1,0 +1,26 @@
+(** Push-based residual PageRank (asynchronous Galois fixed point).
+
+    Integer Q20 fixed-point arithmetic makes the Galois variants exactly
+    reproducible under the deterministic policy; all policies agree with
+    the synchronous power iteration within the tolerance. *)
+
+type config = { damping : int; tolerance : int }
+(** Q20 fixed point (see [one] = 2^20 internally): default damping 0.85,
+    tolerance 1e-3. *)
+
+val default_config : config
+
+val galois :
+  ?config:config ->
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  float array * Galois.Runtime.report
+(** Ranks (converted to floats). Ranks are un-normalized (PageRank's
+    (1-d) + d·Σ formulation). *)
+
+val serial : ?config:config -> ?max_iters:int -> Graphlib.Csr.t -> float array
+(** Synchronous power iteration (floating point) — the reference. *)
+
+val max_abs_diff : float array -> float array -> float

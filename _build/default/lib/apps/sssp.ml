@@ -1,0 +1,120 @@
+(* Single-source shortest paths with non-negative integer weights:
+   label-correcting over unordered tasks, the weighted sibling of bfs.
+   The distances are algorithm-deterministic, so all policies must agree
+   with Dijkstra ([serial]). *)
+
+module Csr = Graphlib.Csr
+
+let unreached = max_int
+
+let galois ?record ~policy ?pool g weights ~source =
+  if Array.length weights <> Csr.edges g then
+    invalid_arg "Sssp.galois: weight array size mismatch";
+  let n = Csr.nodes g in
+  let locks = Galois.Lock.create_array n in
+  let dist = Array.make n unreached in
+  let operator ctx (u, d) =
+    Galois.Context.acquire ctx locks.(u);
+    if dist.(u) <= d then () (* stale: pure skip *)
+    else begin
+      Csr.iter_succ g u (fun v -> Galois.Context.acquire ctx locks.(v));
+      Galois.Context.work ctx (Csr.out_degree g u);
+      Galois.Context.failsafe ctx;
+      dist.(u) <- d;
+      Csr.iter_succ_edges g u (fun e v ->
+          let nd = d + weights.(e) in
+          if dist.(v) > nd then Galois.Context.push ctx (v, nd))
+    end
+  in
+  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator [| (source, 0) |] in
+  (dist, report)
+
+(* Dijkstra with a simple pairing of (dist, node) in a sorted module-less
+   binary heap. *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create () = { data = Array.make 64 (0, 0); size = 0 }
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && h.data.((!i - 1) / 2) > h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.data.(l) < h.data.(!smallest) then smallest := l;
+        if r < h.size && h.data.(r) < h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue_ := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let serial g weights ~source =
+  let n = Csr.nodes g in
+  let dist = Array.make n unreached in
+  let heap = Heap.create () in
+  dist.(source) <- 0;
+  Heap.push heap (0, source);
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d = dist.(u) then
+          Csr.iter_succ_edges g u (fun e v ->
+              let nd = d + weights.(e) in
+              if dist.(v) > nd then begin
+                dist.(v) <- nd;
+                Heap.push heap (nd, v)
+              end);
+        drain ()
+  in
+  drain ();
+  dist
+
+(* Triangle-inequality check plus witness-predecessor existence. *)
+let validate g weights ~source dist =
+  let ok = ref (dist.(source) = 0) in
+  Array.iteri
+    (fun u du ->
+      if du <> unreached then
+        Csr.iter_succ_edges g u (fun e v -> if dist.(v) > du + weights.(e) then ok := false))
+    dist;
+  let witnessed = Array.make (Csr.nodes g) false in
+  witnessed.(source) <- true;
+  Array.iteri
+    (fun u du ->
+      if du <> unreached then
+        Csr.iter_succ_edges g u (fun e v ->
+            if dist.(v) = du + weights.(e) then witnessed.(v) <- true))
+    dist;
+  Array.iteri (fun v dv -> if dv <> unreached && not witnessed.(v) then ok := false) dist;
+  !ok

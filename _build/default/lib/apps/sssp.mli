@@ -1,0 +1,20 @@
+(** Single-source shortest paths with non-negative integer weights. *)
+
+val unreached : int
+
+val galois :
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  int array ->
+  source:int ->
+  int array * Galois.Runtime.report
+(** Unordered label-correcting SSSP (weights indexed by edge id). The
+    distances are unique, so every policy agrees with {!serial}. Raises
+    [Invalid_argument] on weight-array size mismatch. *)
+
+val serial : Graphlib.Csr.t -> int array -> source:int -> int array
+(** Dijkstra. *)
+
+val validate : Graphlib.Csr.t -> int array -> source:int -> int array -> bool

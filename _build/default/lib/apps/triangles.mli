@@ -1,0 +1,15 @@
+(** Triangle counting over a symmetric simple graph. All tasks are
+    read-only up to their single result-cell write — a stress of the
+    runtime's near-pure task handling. *)
+
+val count_at : Graphlib.Csr.t -> int -> int
+(** Triangles whose minimum vertex is [u]. *)
+
+val galois :
+  ?record:bool ->
+  policy:Galois.Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  Graphlib.Csr.t ->
+  int * Galois.Runtime.report
+
+val serial : Graphlib.Csr.t -> int

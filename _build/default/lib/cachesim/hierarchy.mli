@@ -1,0 +1,17 @@
+(** Cache hierarchy: private L1/L2 per thread, shared L3, DRAM counter.
+    Used to reproduce the locality study (Fig. 11/12). *)
+
+type t
+
+val create : ?l1_lines:int -> ?l2_lines:int -> ?l3_lines:int -> threads:int -> unit -> t
+
+val access : t -> worker:int -> int -> unit
+(** One location access by one thread. *)
+
+val dram_accesses : t -> int
+
+val replay :
+  ?l1_lines:int -> ?l2_lines:int -> ?l3_lines:int -> threads:int -> Galois.Schedule.t -> t
+(** Replay a recorded schedule's location streams: asynchronous
+    schedules touch each task's neighborhood once; deterministic round
+    schedules touch it at inspect and again at commit, a window apart. *)

@@ -1,0 +1,1 @@
+lib/core/det_sched.ml: Array Atomic Context Hashtbl List Lock Parallel Policy Schedule Stats Unix

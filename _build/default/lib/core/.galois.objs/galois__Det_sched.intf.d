@@ -1,0 +1,1 @@
+lib/core/det_sched.mli: Context Parallel Policy Schedule Stats

@@ -1,0 +1,1 @@
+lib/core/lock.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/core/nondet_sched.ml: Array Context Float List Lock Parallel Schedule Stats Unix Workset

@@ -1,0 +1,1 @@
+lib/core/nondet_sched.mli: Context Parallel Schedule Stats

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Context Det_sched Nondet_sched Parallel Policy Schedule Serial_sched Stats

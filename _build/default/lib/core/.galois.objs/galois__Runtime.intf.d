@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Context Parallel Policy Schedule Stats

@@ -1,0 +1,1 @@
+lib/core/serial_sched.ml: Array Context List Lock Queue Schedule Stats Unix

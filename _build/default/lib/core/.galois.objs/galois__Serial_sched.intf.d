@@ -1,0 +1,1 @@
+lib/core/serial_sched.mli: Context Schedule Stats

@@ -1,0 +1,1 @@
+lib/core/workset.ml: Array Condition List Mutex Queue

@@ -1,0 +1,168 @@
+(* The operator execution context (paper §2, §3.2).
+
+   Application operators receive a context and use it to acquire abstract
+   locations, declare the failsafe point, create new tasks and stash
+   continuation state. The same operator code runs under all three
+   execution phases; the phase changes only what [acquire] and
+   [failsafe] do:
+
+   - [Direct]    non-deterministic or serial execution (Fig. 1b):
+                 acquire = exclusive claim, conflict raises.
+   - [Inspect]   deterministic inspection (Fig. 2 line 14): acquire =
+                 writeMarksMax; the failsafe point aborts the prefix.
+   - [Commit]    deterministic select-and-execute (Fig. 3): acquire =
+                 verify the mark still carries our id. *)
+
+exception Conflict
+(* Raised to the scheduler when a task loses a location. *)
+
+exception Not_cautious
+(* The operator acquired a location after its failsafe point, violating
+   the cautiousness contract (§2). *)
+
+exception Failsafe_reached
+(* Internal: terminates inspect-phase execution at the failsafe point. *)
+
+type phase = Direct | Inspect | Commit
+
+type ('item, 'state) t = {
+  mutable phase : phase;
+  mutable task_id : int;
+  mutable stats : Stats.worker;
+  mutable neighborhood : Lock.t list;  (* reverse acquisition order *)
+  mutable neighborhood_size : int;
+  mutable past_failsafe : bool;
+  mutable saved : 'state option;
+  mutable pushed : 'item list;  (* reverse push order *)
+  mutable pushed_count : int;
+  mutable work_units : int;
+  mutable on_defeat : int -> unit;
+}
+
+let no_defeat (_ : int) = ()
+
+let create () =
+  {
+    phase = Direct;
+    task_id = 1;
+    stats = Stats.make_worker ();
+    neighborhood = [];
+    neighborhood_size = 0;
+    past_failsafe = false;
+    saved = None;
+    pushed = [];
+    pushed_count = 0;
+    work_units = 0;
+    on_defeat = no_defeat;
+  }
+
+let reset t ~phase ~task_id ~saved =
+  t.phase <- phase;
+  t.task_id <- task_id;
+  t.neighborhood <- [];
+  t.neighborhood_size <- 0;
+  t.past_failsafe <- false;
+  t.saved <- saved;
+  t.pushed <- [];
+  t.pushed_count <- 0;
+  t.work_units <- 0;
+  t.on_defeat <- no_defeat
+
+let acquire t lock =
+  if t.past_failsafe then raise Not_cautious;
+  t.stats.acquires <- t.stats.acquires + 1;
+  match t.phase with
+  | Direct ->
+      t.stats.atomic_updates <- t.stats.atomic_updates + 1;
+      if Lock.try_claim lock t.task_id then begin
+        t.neighborhood <- lock :: t.neighborhood;
+        t.neighborhood_size <- t.neighborhood_size + 1
+      end
+      else raise Conflict
+  | Inspect ->
+      t.stats.atomic_updates <- t.stats.atomic_updates + 1;
+      t.neighborhood <- lock :: t.neighborhood;
+      t.neighborhood_size <- t.neighborhood_size + 1;
+      (match Lock.claim_max lock t.task_id with
+      | `Won 0 -> ()
+      | `Won displaced -> t.on_defeat displaced
+      | `Lost ->
+          (* A higher-priority task already holds the mark, so it cannot
+             know about us: flag ourselves instead (§3.3 protocol). *)
+          t.on_defeat t.task_id)
+  | Commit ->
+      (* The inspect phase of this very round acquired the same prefix,
+         so the mark must still be ours; anything else is a scheduler
+         invariant violation. *)
+      if not (Lock.holds lock t.task_id) then raise Conflict
+
+(* Integrate a location created by this task (e.g. a new mesh triangle).
+   Under speculative execution the fresh lock is claimed immediately so
+   concurrent tasks cannot touch the new object before we finish; it is
+   released with the rest of the neighborhood. Deterministic commits need
+   nothing: other committed tasks have disjoint, already-fixed
+   neighborhoods, and later rounds start after the marks clear. *)
+let register_new t lock =
+  match t.phase with
+  | Direct ->
+      t.stats.atomic_updates <- t.stats.atomic_updates + 1;
+      if not (Lock.try_claim lock t.task_id) then
+        invalid_arg "Context.register_new: lock is not fresh";
+      t.neighborhood <- lock :: t.neighborhood;
+      t.neighborhood_size <- t.neighborhood_size + 1
+  | Inspect ->
+      (* Object creation is a write; writes may not precede the failsafe
+         point. *)
+      raise Not_cautious
+  | Commit -> ()
+
+let failsafe t =
+  if not t.past_failsafe then begin
+    t.past_failsafe <- true;
+    match t.phase with Inspect -> raise Failsafe_reached | Direct | Commit -> ()
+  end
+
+let push t item =
+  t.pushed <- item :: t.pushed;
+  t.pushed_count <- t.pushed_count + 1
+
+let save t state = t.saved <- Some state
+
+let saved t = t.saved
+
+let work t units = t.work_units <- t.work_units + units
+
+let phase t = t.phase
+
+let task_id t = t.task_id
+
+(* Internal accessors for schedulers. *)
+
+let neighborhood_rev t = t.neighborhood
+
+let neighborhood_array t =
+  let n = t.neighborhood_size in
+  match t.neighborhood with
+  | [] -> [||]
+  | first :: _ ->
+      let arr = Array.make n first in
+      let rec fill i = function
+        | [] -> ()
+        | l :: rest ->
+            arr.(i) <- l;
+            fill (i - 1) rest
+      in
+      fill (n - 1) t.neighborhood;
+      arr
+
+let neighborhood_count t = t.neighborhood_size
+
+let pushed_rev t = t.pushed
+let pushed_count t = t.pushed_count
+let work_units t = t.work_units
+let reached_failsafe t = t.past_failsafe
+let set_on_defeat t f = t.on_defeat <- f
+let set_stats t stats = t.stats <- stats
+
+let release_all t =
+  List.iter (fun l -> Lock.release l t.task_id) t.neighborhood

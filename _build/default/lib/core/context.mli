@@ -1,0 +1,81 @@
+(** Operator execution context.
+
+    A Galois operator is a function [('item, 'state) t -> 'item -> unit].
+    Inside the operator, the context provides neighborhood acquisition,
+    the failsafe declaration, task creation and (optional) continuation
+    state, exactly mirroring the paper's programming model (§2, §3.3).
+
+    Contract for operators ({e cautiousness}): acquire every abstract
+    location the task reads or writes, then call {!failsafe}, and only
+    then mutate shared state. Violations raise {!Not_cautious}. *)
+
+exception Conflict
+(** The task lost a location to another task (non-deterministic
+    execution). The scheduler catches this and retries the task; operator
+    code should let it propagate. *)
+
+exception Not_cautious
+(** An acquisition happened after the failsafe point. *)
+
+exception Failsafe_reached
+(** Internal control flow of the deterministic inspect phase; operator
+    code must not catch it (catching [exn] and re-raising is fine). *)
+
+type phase =
+  | Direct  (** one-shot execution: serial or speculative (Fig. 1b) *)
+  | Inspect  (** deterministic neighborhood marking (Fig. 2) *)
+  | Commit  (** deterministic select-and-execute (Fig. 3) *)
+
+type ('item, 'state) t
+
+val acquire : (_, _) t -> Lock.t -> unit
+(** Acquire an abstract location. Phase-dependent: exclusive claim
+    (Direct; raises {!Conflict} when lost), priority marking (Inspect;
+    never fails) or verification (Commit). *)
+
+val failsafe : (_, _) t -> unit
+(** Declare the failsafe point: all reads are done, writes may begin.
+    Idempotent. *)
+
+val register_new : (_, _) t -> Lock.t -> unit
+(** Integrate an abstract location created by this task after its
+    failsafe point (a fresh object, e.g. a new mesh triangle). Must only
+    be called with locks nobody else has seen. *)
+
+val push : ('item, _) t -> 'item -> unit
+(** Create a new task. Buffered; takes effect only if this task
+    commits. *)
+
+val save : (_, 'state) t -> 'state -> unit
+(** Stash continuation state during the inspect phase (the paper's
+    continuation optimization, §3.3). The state reappears via {!saved}
+    when the task is committed in the same round. *)
+
+val saved : (_, 'state) t -> 'state option
+(** Previously saved state, if the scheduler preserved it. Operators must
+    recompute when [None]. *)
+
+val work : (_, _) t -> int -> unit
+(** Report abstract work units (used by the machine simulator's cost
+    model). *)
+
+val phase : (_, _) t -> phase
+val task_id : (_, _) t -> int
+
+(** {2 Scheduler internals}
+
+    Everything below is used by the schedulers in this library and is not
+    part of the application-facing API. *)
+
+val create : unit -> ('item, 'state) t
+val reset : ('item, 'state) t -> phase:phase -> task_id:int -> saved:'state option -> unit
+val neighborhood_rev : (_, _) t -> Lock.t list
+val neighborhood_array : (_, _) t -> Lock.t array
+val neighborhood_count : (_, _) t -> int
+val pushed_rev : ('item, _) t -> 'item list
+val pushed_count : (_, _) t -> int
+val work_units : (_, _) t -> int
+val reached_failsafe : (_, _) t -> bool
+val set_on_defeat : (_, _) t -> (int -> unit) -> unit
+val set_stats : (_, _) t -> Stats.worker -> unit
+val release_all : (_, _) t -> unit

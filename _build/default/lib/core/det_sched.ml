@@ -1,0 +1,299 @@
+(* Deterministic interference-graph (DIG) scheduling — Fig. 2 and Fig. 3
+   of the paper, with all three §3.3 optimizations.
+
+   Execution proceeds in generations (one per deterministic sort of the
+   [todo] set) and rounds within a generation. Each round:
+
+     inspect        run a deterministically chosen window of tasks up to
+                    their failsafe points, marking neighborhoods with
+                    [writeMarksMax]. The final mark of a location is the
+                    max id among touching tasks regardless of timing, so
+                    the implicitly built interference graph — and the
+                    selected independent set — are deterministic.
+
+     selectAndExec  a task commits iff its defeat flag is clear, which is
+                    provably equivalent to "all its marks still carry its
+                    id" (the flag is set either by the task that displaced
+                    our mark, or by ourselves when we observe a higher
+                    mark; marks only grow within a round). Committed
+                    tasks run their write phase; failed tasks return to
+                    [next] ahead of untried tasks, preserving id order.
+                    All tasks then clear their surviving marks.
+
+   Determinism argument, in code terms: the window contents are a prefix
+   of a deterministically ordered sequence; the marks after inspect are a
+   max-fold over a deterministic set; the selected set is therefore
+   unique; committed tasks have pairwise-disjoint neighborhoods, so their
+   write phases commute; and children ids come from a lexicographic
+   (parent id, birth index) sort, independent of which worker ran what.
+   The window size for the next round depends only on the (deterministic)
+   commit count — the paper's parameterless adaptive windowing. *)
+
+type ('item, 'state) task = {
+  item : 'item;
+  id : int;
+  (* Defeat flag (§3.3). Written concurrently during inspect, but only
+     ever from [true] to [false] (an idempotent immediate), so the plain
+     racy write is benign; the pool barrier publishes it before the
+     commit phase reads it. *)
+  mutable alive : bool;
+  mutable neighborhood : Lock.t array;
+  mutable saved : 'state option;
+  mutable pure : bool;  (* inspect finished without reaching a failsafe *)
+  mutable pure_children : 'item list;  (* push order *)
+  mutable acquires : int;
+  mutable task_work : int;  (* inspect-phase (prefix) work units *)
+  mutable commit_work : int;  (* commit-phase work units *)
+}
+
+let make_task id item =
+  {
+    item;
+    id;
+    alive = true;
+    neighborhood = [||];
+    saved = None;
+    pure = false;
+    pure_children = [];
+    acquires = 0;
+    task_work = 0;
+    commit_work = 0;
+  }
+
+(* §3.3 locality spread: deal a sequence into [spread] strided piles so
+   that tasks adjacent in iteration order (likely to share neighborhoods)
+   land in different rounds. A fixed constant permutation — deterministic
+   and machine-independent. *)
+let spread_permute spread arr =
+  let n = Array.length arr in
+  if spread <= 1 || n <= spread then arr
+  else begin
+    let out = Array.make n arr.(0) in
+    let idx = ref 0 in
+    for pile = 0 to spread - 1 do
+      let i = ref pile in
+      while !i < n do
+        out.(!idx) <- arr.(!i);
+        incr idx;
+        i := !i + spread
+      done
+    done;
+    out
+  end
+
+(* Deterministic id assignment (§3.2). Children are sorted by
+   (parent id, birth index); ids are their ranks offset by a counter that
+   grows monotonically across generations. With [static_id], ids come
+   from the application's fixed task universe instead (§3.3, third
+   optimization) and duplicates collapse to a single task. *)
+let form_generation ~static_id ~spread ~next_id todo =
+  match todo with
+  | [] -> [||]
+  | _ -> (
+      match static_id with
+      | Some key_of ->
+          let arr = Array.of_list (List.map (fun (_, _, item) -> (key_of item, item)) todo) in
+          Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+          let tasks = ref [] and count = ref 0 in
+          Array.iteri
+            (fun i (key, item) ->
+              let duplicate = i > 0 && fst arr.(i - 1) = key in
+              if not duplicate then begin
+                incr count;
+                tasks := item :: !tasks
+              end)
+            arr;
+          let base = !next_id in
+          next_id := base + !count;
+          let out = Array.of_list (List.rev !tasks) in
+          spread_permute spread (Array.mapi (fun i item -> make_task (base + i) item) out)
+      | None ->
+          let arr = Array.of_list todo in
+          Array.sort
+            (fun (p1, k1, _) (p2, k2, _) ->
+              if p1 <> p2 then compare (p1 : int) p2 else compare (k1 : int) k2)
+            arr;
+          let base = !next_id in
+          next_id := base + Array.length arr;
+          spread_permute spread
+            (Array.mapi (fun i (_, _, item) -> make_task (base + i) item) arr))
+
+(* Chunked dynamic parallel iteration over [0, n). Assignment of indices
+   to workers is timing-dependent; nothing the workers compute depends on
+   it. *)
+let par_iter pool ~threads n f =
+  let counter = Atomic.make 0 in
+  let chunk = 8 in
+  Parallel.Domain_pool.run pool (fun w ->
+      if w >= threads then ()
+      else
+      let continue_ = ref true in
+      while !continue_ do
+        let start = Atomic.fetch_and_add counter chunk in
+        if start >= n then continue_ := false
+        else
+          for i = start to min (start + chunk) n - 1 do
+            f w i
+          done
+      done)
+
+let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
+  let { Policy.target_ratio; initial_window; spread; continuation; validate } = options in
+  (* The policy's thread count rules; extra pool workers stay idle. *)
+  let threads =
+    match threads with
+    | None -> Parallel.Domain_pool.size pool
+    | Some t -> min t (Parallel.Domain_pool.size pool)
+  in
+  let workers = Array.init threads (fun _ -> Stats.make_worker ()) in
+  let contexts =
+    Array.init threads (fun w ->
+        let ctx = Context.create () in
+        Context.set_stats ctx workers.(w);
+        ctx)
+  in
+  let defeat_map : (int, ('item, 'state) task) Hashtbl.t = Hashtbl.create 1024 in
+  let defeat id =
+    match Hashtbl.find_opt defeat_map id with
+    | Some t -> t.alive <- false
+    | None ->
+        (* Marks are cleared every round, so a displaced id must belong
+           to the current window. *)
+        assert false
+  in
+  let rounds = ref 0 and generations = ref 0 in
+  let next_id = ref 1 in
+  let round_records = ref [] in
+  (* Per-worker buffers of (parent id, birth index, item). *)
+  let child_buffers = Array.make threads [] in
+  let todo = ref (Array.to_list (Array.mapi (fun i item -> (0, i, item)) items)) in
+  let window = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  while !todo <> [] do
+    incr generations;
+    let generation = form_generation ~static_id ~spread ~next_id !todo in
+    todo := [];
+    let next = ref (Array.to_list generation) in
+    let next_len = ref (Array.length generation) in
+    if !window = 0 then
+      window := (match initial_window with Some w -> max 1 w | None -> max 32 ((!next_len + 7) / 8));
+    while !next_len > 0 do
+      incr rounds;
+      (* --- calculateWindow / getWindowOfTasks --------------------- *)
+      let w_use = min !window !next_len in
+      let cur = Array.make w_use (List.hd !next) in
+      let rest = ref !next in
+      for i = 0 to w_use - 1 do
+        match !rest with
+        | t :: tl ->
+            cur.(i) <- t;
+            rest := tl
+        | [] -> assert false
+      done;
+      let remainder = !rest in
+      Hashtbl.reset defeat_map;
+      Array.iter
+        (fun t ->
+          t.alive <- true;
+          t.pure <- false;
+          t.pure_children <- [];
+          t.saved <- None;
+          t.commit_work <- 0;
+          Hashtbl.add defeat_map t.id t)
+        cur;
+      (* --- inspect ------------------------------------------------- *)
+      par_iter pool ~threads w_use (fun w i ->
+          let ctx = contexts.(w) in
+          let t = cur.(i) in
+          Context.reset ctx ~phase:Inspect ~task_id:t.id ~saved:None;
+          Context.set_on_defeat ctx defeat;
+          workers.(w).inspections <- workers.(w).inspections + 1;
+          (match operator ctx t.item with
+          | () ->
+              (* No failsafe point reached: a read-only task. Its whole
+                 execution — including pushes — happened now; commit just
+                 publishes the children if selected. *)
+              t.pure <- true;
+              t.pure_children <- List.rev (Context.pushed_rev ctx)
+          | exception Context.Failsafe_reached -> ());
+          t.neighborhood <- Context.neighborhood_array ctx;
+          t.acquires <- Context.neighborhood_count ctx;
+          t.task_work <- Context.work_units ctx;
+          if continuation then t.saved <- Context.saved ctx);
+      (* --- selectAndExec -------------------------------------------- *)
+      let committed = Array.make w_use false in
+      par_iter pool ~threads w_use (fun w i ->
+          let stats = workers.(w) in
+          let ctx = contexts.(w) in
+          let t = cur.(i) in
+          let selected = t.alive in
+          if validate then begin
+            let marks_ok = Array.for_all (fun l -> Lock.holds l t.id) t.neighborhood in
+            if selected <> marks_ok then
+              failwith "Det_sched: defeat flags disagree with neighborhood marks"
+          end;
+          if selected then begin
+            let children =
+              if t.pure then t.pure_children
+              else begin
+                Context.reset ctx ~phase:Commit ~task_id:t.id ~saved:t.saved;
+                operator ctx t.item;
+                stats.work <- stats.work + Context.work_units ctx;
+                t.commit_work <- Context.work_units ctx;
+                List.rev (Context.pushed_rev ctx)
+              end
+            in
+            if t.pure then stats.work <- stats.work + t.task_work;
+            List.iteri
+              (fun k child -> child_buffers.(w) <- (t.id, k, child) :: child_buffers.(w))
+              children;
+            stats.pushes <- stats.pushes + List.length children;
+            stats.committed <- stats.committed + 1;
+            committed.(i) <- true
+          end
+          else stats.aborted <- stats.aborted + 1;
+          (* Clear the marks this task still holds, readying the
+             locations for the next round. *)
+          Array.iter (fun l -> Lock.release l t.id) t.neighborhood;
+          stats.atomic_updates <- stats.atomic_updates + Array.length t.neighborhood);
+      (* --- sequential glue between rounds --------------------------- *)
+      let n_committed = ref 0 in
+      let failed = ref [] in
+      for i = w_use - 1 downto 0 do
+        if committed.(i) then incr n_committed else failed := cur.(i) :: !failed
+      done;
+      for w = 0 to threads - 1 do
+        todo := List.rev_append child_buffers.(w) !todo;
+        child_buffers.(w) <- []
+      done;
+      if record then begin
+        let round_rec =
+          Array.mapi
+            (fun i t ->
+              {
+                Schedule.acquires = t.acquires;
+                inspect_work = t.task_work;
+                commit_work = t.commit_work;
+                committed = committed.(i);
+                locks = Array.map Lock.id t.neighborhood;
+              })
+            cur
+        in
+        round_records := round_rec :: !round_records
+      end;
+      (* Failed tasks precede the untried remainder: they came from the
+         window prefix, so this keeps [next] in id order. *)
+      next := List.rev_append (List.rev !failed) remainder;
+      next_len := !next_len - !n_committed;
+      let ratio = float_of_int !n_committed /. float_of_int w_use in
+      window :=
+        if ratio >= target_ratio then min (!window * 2) (1 lsl 22)
+        else max 32 (int_of_float (float_of_int !window *. ratio /. target_ratio) + 1)
+    done
+  done;
+  let time_s = Unix.gettimeofday () -. t0 in
+  let stats =
+    Stats.merge ~threads ~rounds:!rounds ~generations:!generations ~time_s workers
+  in
+  let schedule = if record then Some (Schedule.Rounds (List.rev !round_records)) else None in
+  (stats, schedule)

@@ -1,0 +1,22 @@
+(** Deterministic interference-graph (DIG) scheduler — the paper's core
+    contribution (§3).
+
+    Executes an unordered Galois task pool in deterministic rounds:
+    inspect a window of tasks up to their failsafe points with max-id
+    marking, commit the unique resulting independent set, retry the rest.
+    The output is a function of the input and the (fixed) scheduling
+    constants only — never of the thread count or timing. *)
+
+val run :
+  ?record:bool ->
+  ?threads:int ->
+  pool:Parallel.Domain_pool.t ->
+  options:Policy.det_options ->
+  static_id:('item -> int) option ->
+  operator:(('item, 'state) Context.t -> 'item -> unit) ->
+  'item array ->
+  Stats.t * Schedule.t option
+(** [static_id] enables the paper's §3.3 fast path for task pools drawn
+    from a fixed universe: ids come from the application (and duplicate
+    pushes of one task collapse) instead of lexicographic child
+    sorting. *)

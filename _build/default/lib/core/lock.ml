@@ -1,0 +1,50 @@
+(* Abstract locations (\S2 of the paper).
+
+   Every shared abstract object (graph node, triangle, ...) owns one lock
+   word. The word holds 0 when free, or the id of the task currently
+   marking the location. Both schedulers synchronize exclusively through
+   these words, matching the Galois system's per-object lock design. *)
+
+type t = { mark : int Atomic.t; lid : int }
+
+let next_lid = Atomic.make 0
+
+let create () = { mark = Atomic.make 0; lid = Atomic.fetch_and_add next_lid 1 }
+
+let create_array n = Array.init n (fun _ -> create ())
+
+let id t = t.lid
+
+let mark t = Atomic.get t.mark
+
+(* Fig. 1b [writeMarks]: claim the location for [task_id] if it is free
+   or already ours. Returns false on conflict. *)
+let try_claim t task_id =
+  let cur = Atomic.get t.mark in
+  cur = task_id || (cur = 0 && Atomic.compare_and_set t.mark 0 task_id)
+
+(* Fig. 3 [writeMarksMax]: deterministically raise the mark to the
+   maximum of its current value and [task_id]. Never fails to complete:
+   determinism requires that every marking attempt runs even after the
+   task has already lost some other location (§3.2). The result reports
+   who lost the location, so the inspect phase can maintain the paper's
+   commit-prevention flags (§3.3). *)
+let claim_max t task_id =
+  let rec go () =
+    let cur = Atomic.get t.mark in
+    if cur = task_id then `Won 0
+    else if cur > task_id then `Lost
+    else if Atomic.compare_and_set t.mark cur task_id then `Won cur
+    else go ()
+  in
+  go ()
+
+let holds t task_id = Atomic.get t.mark = task_id
+
+(* Release the location if we hold it. Used both by non-deterministic
+   rollback/commit and by end-of-round mark clearing. *)
+let release t task_id =
+  let cur = Atomic.get t.mark in
+  if cur = task_id then ignore (Atomic.compare_and_set t.mark task_id 0)
+
+let force_clear t = Atomic.set t.mark 0

@@ -1,0 +1,39 @@
+(** Abstract locations with atomic mark words.
+
+    The Galois runtime synchronizes by associating marks with abstract
+    locations (paper §2). Each lock word holds 0 when free or the id of
+    the task marking it. *)
+
+type t
+
+val create : unit -> t
+(** A fresh location with a process-unique location id. *)
+
+val create_array : int -> t array
+
+val id : t -> int
+(** Stable location id, used for access traces and cache simulation. *)
+
+val mark : t -> int
+(** Current mark value (0 = free). *)
+
+val try_claim : t -> int -> bool
+(** [try_claim l id] implements Fig. 1b's [writeMarks] for one location:
+    atomically claim [l] for task [id] if free (or already held by [id]).
+    False means a conflict with another task. *)
+
+val claim_max : t -> int -> [ `Won of int | `Lost ]
+(** [claim_max l id] implements Fig. 3's [writeMarksMax] for one
+    location: raise the mark to [max mark id]. [`Won d] means the mark now
+    carries [id] and displaced the task with id [d] (0 when the location
+    was free or already ours); [`Lost] means a higher-priority task holds
+    it. Never fails to complete — required for determinism (§3.2). *)
+
+val holds : t -> int -> bool
+(** Does the mark equal this task id? *)
+
+val release : t -> int -> unit
+(** Reset the mark to 0 if held by this task id. *)
+
+val force_clear : t -> unit
+(** Unconditionally reset; only for (re)initializing data structures. *)

@@ -1,0 +1,15 @@
+(** Non-deterministic speculative scheduler (paper Fig. 1b).
+
+    Executes tasks eagerly with mark-based conflict detection and
+    cheap rollback (dining-philosophers style, §2.1). The answer may
+    depend on timing and thread count — this is the fast default the
+    paper argues for, with determinism available on demand via
+    {!Det_sched}. *)
+
+val run :
+  ?record:bool ->
+  ?threads:int ->
+  pool:Parallel.Domain_pool.t ->
+  operator:(('item, 'state) Context.t -> 'item -> unit) ->
+  'item array ->
+  Stats.t * Schedule.t option

@@ -1,0 +1,68 @@
+(* Execution policies: the on-demand determinism switch.
+
+   A program written against [Runtime.for_each] never changes; the policy
+   (serial, speculative non-deterministic, or deterministic DIG
+   scheduling) is chosen at run time, e.g. from the command line — the
+   paper's "on-demand" requirement (§1). *)
+
+type det_options = {
+  target_ratio : float;
+      (* Commit-ratio threshold of the adaptive window (§3.2). Below it
+         the window shrinks proportionally; at or above it the window
+         doubles. A fixed constant: not machine-tuned, hence
+         parameterless. *)
+  initial_window : int option;
+      (* Window of the first round. [None] derives it from the task
+         count — deterministic, machine-independent. *)
+  spread : int;
+      (* Locality-spread piles (§3.3): iteration order is dealt into
+         [spread] strided piles so neighboring (likely conflicting) tasks
+         land in different rounds. [1] disables. *)
+  continuation : bool;
+      (* §3.3 continuation optimization: keep inspect-phase state for the
+         commit phase instead of re-executing the task prefix. *)
+  validate : bool;
+      (* Debug: re-verify all neighborhood marks at commit instead of
+         trusting the O(1) defeat flags. The two must agree; tests check
+         this. *)
+}
+
+let default_det =
+  { target_ratio = 0.9; initial_window = None; spread = 16; continuation = true; validate = false }
+
+type t =
+  | Serial
+  | Nondet of { threads : int }
+  | Det of { threads : int; options : det_options }
+
+let serial = Serial
+let nondet threads = Nondet { threads }
+let det ?(options = default_det) threads = Det { threads; options }
+
+let threads = function Serial -> 1 | Nondet { threads } | Det { threads; _ } -> threads
+
+let is_deterministic = function Serial | Det _ -> true | Nondet _ -> false
+
+let of_string s =
+  let fail () =
+    Error (Printf.sprintf "bad policy %S (expected serial | nondet[:T] | det[:T])" s)
+  in
+  let parse_threads rest = match int_of_string_opt rest with
+    | Some t when t > 0 -> Ok t
+    | _ -> fail ()
+  in
+  match String.split_on_char ':' s with
+  | [ "serial" ] -> Ok Serial
+  | [ "nondet" ] -> Ok (Nondet { threads = 1 })
+  | [ "det" ] -> Ok (Det { threads = 1; options = default_det })
+  | [ "nondet"; t ] -> Result.map (fun threads -> Nondet { threads }) (parse_threads t)
+  | [ "det"; t ] ->
+      Result.map (fun threads -> Det { threads; options = default_det }) (parse_threads t)
+  | _ -> fail ()
+
+let pp ppf = function
+  | Serial -> Fmt.string ppf "serial"
+  | Nondet { threads } -> Fmt.pf ppf "nondet:%d" threads
+  | Det { threads; _ } -> Fmt.pf ppf "det:%d" threads
+
+let to_string t = Fmt.str "%a" pp t

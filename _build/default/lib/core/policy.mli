@@ -1,0 +1,42 @@
+(** Execution policies — the on-demand determinism switch.
+
+    The same application code runs under any policy; programs select one
+    at run time (typically from the command line), realizing the paper's
+    on-demand determinism. *)
+
+type det_options = {
+  target_ratio : float;
+      (** Adaptive-window commit-ratio threshold (default 0.9). *)
+  initial_window : int option;
+      (** First-round window; [None] (default) derives it from the task
+          count, keeping it machine-independent. *)
+  spread : int;  (** Locality-spread piles; 1 disables (default 16). *)
+  continuation : bool;  (** §3.3 continuation optimization (default on). *)
+  validate : bool;
+      (** Debug: re-verify neighborhood marks at commit in addition to
+          the O(1) defeat flags. *)
+}
+
+val default_det : det_options
+
+type t =
+  | Serial  (** in-order sequential execution *)
+  | Nondet of { threads : int }  (** speculative scheduling (Fig. 1b) *)
+  | Det of { threads : int; options : det_options }
+      (** deterministic DIG scheduling (Fig. 2) *)
+
+val serial : t
+val nondet : int -> t
+val det : ?options:det_options -> int -> t
+
+val threads : t -> int
+
+val is_deterministic : t -> bool
+(** True for [Serial] and [Det]: the output is a function of the input
+    only, not of timing or thread count. *)
+
+val of_string : string -> (t, string) result
+(** Parses ["serial"], ["nondet:8"], ["det:8"] (thread count optional). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

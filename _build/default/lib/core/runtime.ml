@@ -1,0 +1,34 @@
+(* The user-facing runtime entry point.
+
+   A Galois program is an operator plus an initial task pool; everything
+   about *how* it executes — serially, speculatively in parallel, or
+   deterministically — is a run-time policy. This is the paper's
+   on-demand determinism: the application source never changes. *)
+
+type ('item, 'state) operator = ('item, 'state) Context.t -> 'item -> unit
+
+type report = { stats : Stats.t; schedule : Schedule.t option }
+
+let with_pool ?pool threads f =
+  match pool with
+  | Some p ->
+      if Parallel.Domain_pool.size p < threads then
+        invalid_arg "Runtime.for_each: pool smaller than policy thread count";
+      f p
+  | None -> Parallel.Domain_pool.with_pool threads f
+
+let for_each ?(policy = Policy.Serial) ?pool ?(record = false) ?static_id ~operator items =
+  match policy with
+  | Policy.Serial ->
+      let stats, schedule = Serial_sched.run ~record ~operator items in
+      { stats; schedule }
+  | Policy.Nondet { threads } ->
+      with_pool ?pool threads (fun pool ->
+          let stats, schedule = Nondet_sched.run ~record ~threads ~pool ~operator items in
+          { stats; schedule })
+  | Policy.Det { threads; options } ->
+      with_pool ?pool threads (fun pool ->
+          let stats, schedule =
+            Det_sched.run ~record ~threads ~pool ~options ~static_id ~operator items
+          in
+          { stats; schedule })

@@ -1,0 +1,39 @@
+(** Runtime entry point: execute an unordered Galois task pool under a
+    chosen policy.
+
+    {[
+      let report =
+        Galois.Runtime.for_each
+          ~policy:(Galois.Policy.det 8)   (* or [nondet 8], or [serial] *)
+          ~operator:(fun ctx node ->
+            Galois.Context.acquire ctx (lock_of node);
+            (* ... read neighborhood ... *)
+            Galois.Context.failsafe ctx;
+            (* ... write, push new tasks ... *))
+          initial_tasks
+    ]} *)
+
+type ('item, 'state) operator = ('item, 'state) Context.t -> 'item -> unit
+(** An operator executes one task: acquire the neighborhood, declare the
+    failsafe point, then mutate. ['state] is the continuation-state type
+    ([unit] if unused). *)
+
+type report = { stats : Stats.t; schedule : Schedule.t option }
+
+val for_each :
+  ?policy:Policy.t ->
+  ?pool:Parallel.Domain_pool.t ->
+  ?record:bool ->
+  ?static_id:('item -> int) ->
+  operator:('item, 'state) operator ->
+  'item array ->
+  report
+(** Run all tasks (and the tasks they create) to completion.
+
+    @param policy execution policy; default {!Policy.Serial}.
+    @param pool reuse an existing domain pool (must be at least as large
+      as the policy's thread count); otherwise a temporary pool is
+      created.
+    @param record capture a {!Schedule.t} for the simulators.
+    @param static_id deterministic-scheduler fast path for fixed task
+      universes (§3.3); ignored by other policies. *)

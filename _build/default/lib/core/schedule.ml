@@ -1,0 +1,36 @@
+(* Recorded execution structure.
+
+   When recording is enabled, schedulers keep, for every executed task,
+   its abstract cost (mark operations + user-reported work) and the ids
+   of the locations it touched. The machine simulator (lib/simmachine)
+   replays these records under machine cost models to regenerate the
+   paper's scaling figures, and the cache simulator (lib/cachesim)
+   replays the location streams for the locality study (Fig. 11). *)
+
+type task_record = {
+  acquires : int;  (* neighborhood size = number of mark operations *)
+  inspect_work : int;  (* work units before the failsafe point (0 for flat) *)
+  commit_work : int;  (* work units of the commit / full execution *)
+  committed : bool;  (* false: failed selection or aborted attempt *)
+  locks : int array;  (* location ids touched, in acquisition order *)
+}
+
+type t =
+  | Rounds of task_record array list
+      (* Deterministic execution: one array per round, in round order;
+         each array lists the inspected window with commit outcomes. *)
+  | Flat of task_record list
+      (* Non-deterministic / serial execution: attempts in completion
+         order (aborted attempts marked uncommitted). *)
+
+let rounds_count = function Rounds l -> List.length l | Flat _ -> 0
+
+let tasks = function
+  | Rounds l -> List.concat_map Array.to_list l
+  | Flat l -> l
+
+let committed_tasks t = List.filter (fun r -> r.committed) (tasks t)
+
+let task_cost r = r.acquires + r.inspect_work + r.commit_work
+
+let total_work t = List.fold_left (fun acc r -> acc + task_cost r) 0 (committed_tasks t)

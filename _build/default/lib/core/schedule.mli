@@ -1,0 +1,30 @@
+(** Recorded schedules: per-task costs and location streams.
+
+    Optional output of a runtime execution, consumed by the machine
+    simulator (scaling figures) and the cache simulator (locality
+    figures). *)
+
+type task_record = {
+  acquires : int;  (** neighborhood size (mark operations) *)
+  inspect_work : int;  (** work units before the failsafe point *)
+  commit_work : int;  (** work units of the commit / full execution *)
+  committed : bool;
+  locks : int array;  (** location ids in acquisition order *)
+}
+
+type t =
+  | Rounds of task_record array list
+      (** Deterministic rounds, in order; each array is one inspected
+          window. *)
+  | Flat of task_record list
+      (** Asynchronous execution: attempts in completion order. *)
+
+val rounds_count : t -> int
+val tasks : t -> task_record list
+val committed_tasks : t -> task_record list
+
+val task_cost : task_record -> int
+(** Acquires + all work units of one task. *)
+
+val total_work : t -> int
+(** Sum of {!task_cost} over committed tasks. *)

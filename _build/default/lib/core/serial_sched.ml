@@ -1,0 +1,41 @@
+(* In-order sequential execution.
+
+   Trivially deterministic; serves as the semantic reference that both
+   parallel schedulers are tested against, and as the single-thread
+   baseline of the evaluation. *)
+
+let run ?(record = false) ~operator items =
+  let stats = Stats.make_worker () in
+  let ctx = Context.create () in
+  Context.set_stats ctx stats;
+  let queue = Queue.create () in
+  Array.iter (fun x -> Queue.add x queue) items;
+  let records = ref [] in
+  let t0 = Unix.gettimeofday () in
+  while not (Queue.is_empty queue) do
+    let item = Queue.pop queue in
+    Context.reset ctx ~phase:Direct ~task_id:1 ~saved:None;
+    operator ctx item;
+    (* No concurrency: Conflict cannot be raised, every task commits. *)
+    let neighborhood = Context.neighborhood_count ctx in
+    stats.atomic_updates <- stats.atomic_updates + neighborhood;
+    if record then
+      records :=
+        {
+          Schedule.acquires = neighborhood;
+          inspect_work = 0;
+          commit_work = Context.work_units ctx;
+          committed = true;
+          locks = Array.map Lock.id (Context.neighborhood_array ctx);
+        }
+        :: !records;
+    Context.release_all ctx;
+    List.iter (fun c -> Queue.add c queue) (List.rev (Context.pushed_rev ctx));
+    stats.pushes <- stats.pushes + Context.pushed_count ctx;
+    stats.work <- stats.work + Context.work_units ctx;
+    stats.committed <- stats.committed + 1
+  done;
+  let time_s = Unix.gettimeofday () -. t0 in
+  let stats = Stats.merge ~threads:1 ~rounds:0 ~generations:0 ~time_s [| stats |] in
+  let schedule = if record then Some (Schedule.Flat (List.rev !records)) else None in
+  (stats, schedule)

@@ -1,0 +1,8 @@
+(** Sequential in-order scheduler (reference semantics and single-thread
+    baseline). *)
+
+val run :
+  ?record:bool ->
+  operator:(('item, 'state) Context.t -> 'item -> unit) ->
+  'item array ->
+  Stats.t * Schedule.t option

@@ -1,0 +1,120 @@
+(* Execution statistics.
+
+   Workers own private counter records (no sharing, no false-sharing
+   hazards beyond allocation placement); the runtime merges them after
+   the parallel phase. These counters feed the paper's Figures 4 and 5
+   (task rates, abort ratios, rounds, atomic update rates). *)
+
+type worker = {
+  mutable committed : int;  (* tasks that executed to completion *)
+  mutable aborted : int;  (* conflict aborts / failed round selections *)
+  mutable acquires : int;  (* neighborhood mark operations *)
+  mutable atomic_updates : int;  (* CAS-class operations on shared words *)
+  mutable work : int;  (* abstract work units reported by operators *)
+  mutable pushes : int;  (* tasks created *)
+  mutable inspections : int;  (* deterministic-scheduler inspect executions *)
+}
+
+let make_worker () =
+  {
+    committed = 0;
+    aborted = 0;
+    acquires = 0;
+    atomic_updates = 0;
+    work = 0;
+    pushes = 0;
+    inspections = 0;
+  }
+
+type t = {
+  threads : int;
+  commits : int;
+  aborts : int;
+  acquired : int;
+  atomics : int;
+  work_units : int;
+  created : int;
+  inspected : int;
+  rounds : int;  (* deterministic scheduler rounds (0 for nondet/serial) *)
+  generations : int;  (* sort generations of the deterministic scheduler *)
+  time_s : float;  (* wall-clock of the parallel section *)
+}
+
+let merge ~threads ~rounds ~generations ~time_s workers =
+  let commits = ref 0
+  and aborts = ref 0
+  and acquired = ref 0
+  and atomics = ref 0
+  and work_units = ref 0
+  and created = ref 0
+  and inspected = ref 0 in
+  Array.iter
+    (fun w ->
+      commits := !commits + w.committed;
+      aborts := !aborts + w.aborted;
+      acquired := !acquired + w.acquires;
+      atomics := !atomics + w.atomic_updates;
+      work_units := !work_units + w.work;
+      created := !created + w.pushes;
+      inspected := !inspected + w.inspections)
+    workers;
+  {
+    threads;
+    commits = !commits;
+    aborts = !aborts;
+    acquired = !acquired;
+    atomics = !atomics;
+    work_units = !work_units;
+    created = !created;
+    inspected = !inspected;
+    rounds;
+    generations;
+    time_s;
+  }
+
+(* Combine reports of consecutive executions (e.g. the epochs of
+   preflow-push) into one summary. *)
+let add a b =
+  {
+    threads = max a.threads b.threads;
+    commits = a.commits + b.commits;
+    aborts = a.aborts + b.aborts;
+    acquired = a.acquired + b.acquired;
+    atomics = a.atomics + b.atomics;
+    work_units = a.work_units + b.work_units;
+    created = a.created + b.created;
+    inspected = a.inspected + b.inspected;
+    rounds = a.rounds + b.rounds;
+    generations = a.generations + b.generations;
+    time_s = a.time_s +. b.time_s;
+  }
+
+let zero threads =
+  {
+    threads;
+    commits = 0;
+    aborts = 0;
+    acquired = 0;
+    atomics = 0;
+    work_units = 0;
+    created = 0;
+    inspected = 0;
+    rounds = 0;
+    generations = 0;
+    time_s = 0.0;
+  }
+
+let abort_ratio t =
+  let attempts = t.commits + t.aborts in
+  if attempts = 0 then 0.0 else float_of_int t.aborts /. float_of_int attempts
+
+let commits_per_us t = if t.time_s <= 0.0 then 0.0 else float_of_int t.commits /. (t.time_s *. 1e6)
+
+let atomics_per_us t = if t.time_s <= 0.0 then 0.0 else float_of_int t.atomics /. (t.time_s *. 1e6)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>threads=%d commits=%d aborts=%d (ratio %.4f)@ acquires=%d atomics=%d work=%d created=%d@ \
+     inspections=%d rounds=%d generations=%d time=%.4fs@]"
+    t.threads t.commits t.aborts (abort_ratio t) t.acquired t.atomics t.work_units t.created
+    t.inspected t.rounds t.generations t.time_s

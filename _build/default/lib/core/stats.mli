@@ -1,0 +1,54 @@
+(** Execution statistics for a runtime invocation.
+
+    These back the paper's application-characteristics study (Figures 4
+    and 5: task commit rates, abort ratios, rounds, atomic update
+    rates). *)
+
+type worker = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable acquires : int;
+  mutable atomic_updates : int;
+  mutable work : int;
+  mutable pushes : int;
+  mutable inspections : int;
+}
+(** Per-worker mutable counters; owned exclusively by one worker during a
+    parallel section. *)
+
+val make_worker : unit -> worker
+
+type t = {
+  threads : int;
+  commits : int;
+  aborts : int;
+  acquired : int;
+  atomics : int;
+  work_units : int;
+  created : int;
+  inspected : int;
+  rounds : int;
+  generations : int;
+  time_s : float;
+}
+(** Aggregated result of one [for_each] execution. *)
+
+val merge :
+  threads:int -> rounds:int -> generations:int -> time_s:float -> worker array -> t
+
+val add : t -> t -> t
+(** Combine consecutive executions (counters sum, times add). *)
+
+val zero : int -> t
+(** Neutral element of {!add} for a given thread count. *)
+
+val abort_ratio : t -> float
+(** Aborts / (commits + aborts); the paper's abort ratio (Fig. 4). *)
+
+val commits_per_us : t -> float
+(** Committed tasks per microsecond (Fig. 4's task rate). *)
+
+val atomics_per_us : t -> float
+(** Atomic updates per microsecond (Fig. 5). *)
+
+val pp : Format.formatter -> t -> unit

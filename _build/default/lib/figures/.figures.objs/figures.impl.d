@@ -1,0 +1,1 @@
+lib/figures/figures.ml: Analysis Apps Array Cachesim Dataset Detreserve Fmt Galois Geometry Graphlib Hashtbl List Parallel Printf Scale Simmachine

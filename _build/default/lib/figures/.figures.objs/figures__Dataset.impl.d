@@ -1,0 +1,1 @@
+lib/figures/dataset.ml: Apps Detreserve Galois Geometry Graphlib List Parallel Scale

@@ -1,0 +1,1 @@
+lib/figures/scale.ml: Apps

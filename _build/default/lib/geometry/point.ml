@@ -1,0 +1,29 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let x t = t.x
+let y t = t.y
+
+let equal a b = a.x = b.x && a.y = b.y
+let compare a b = if a.x <> b.x then Float.compare a.x b.x else Float.compare a.y b.y
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let scale s a = { x = s *. a.x; y = s *. a.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let cross a b = (a.x *. b.y) -. (a.y *. b.x)
+let norm2 a = dot a a
+let dist2 a b = norm2 (sub a b)
+let dist a b = sqrt (dist2 a b)
+let midpoint a b = { x = (a.x +. b.x) /. 2.0; y = (a.y +. b.y) /. 2.0 }
+
+let pp ppf t = Format.fprintf ppf "(%g, %g)" t.x t.y
+
+(* [n] points uniform in the unit square — the paper's dt/dmr input
+   distribution. Deterministic in the seed. *)
+let random_unit_square ?(seed = 1) n =
+  let g = Parallel.Splitmix.create seed in
+  Array.init n (fun _ ->
+      let x = Parallel.Splitmix.float g in
+      let y = Parallel.Splitmix.float g in
+      { x; y })

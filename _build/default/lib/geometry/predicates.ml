@@ -1,0 +1,117 @@
+(* Robust geometric predicates: a floating-point filter in the style of
+   Shewchuk's adaptive predicates, falling back to exact expansion
+   arithmetic when the filter cannot certify the sign. Delaunay
+   triangulation and refinement depend on these signs being exact;
+   filtered-exact evaluation also makes them deterministic. *)
+
+let epsilon = ldexp 1.0 (-53)
+let ccw_errbound_a = (3.0 +. (16.0 *. epsilon)) *. epsilon
+let icc_errbound_a = (10.0 +. (96.0 *. epsilon)) *. epsilon
+
+(* Exact expansion for the difference of two floats. *)
+let ediff a b =
+  let hi, lo = Expansion.two_sum a (-.b) in
+  [| lo; hi |]
+
+let orient2d_exact ax ay bx by cx cy =
+  let acx = ediff ax cx and acy = ediff ay cy in
+  let bcx = ediff bx cx and bcy = ediff by cy in
+  let left = Expansion.mul acx bcy and right = Expansion.mul acy bcx in
+  Expansion.sign (Expansion.sub left right)
+
+(* Sign of the orientation determinant: > 0 when (a, b, c) makes a left
+   (counter-clockwise) turn. *)
+let orient2d (a : Point.t) (b : Point.t) (c : Point.t) =
+  let ax = a.Point.x and ay = a.Point.y in
+  let bx = b.Point.x and by = b.Point.y in
+  let cx = c.Point.x and cy = c.Point.y in
+  let detleft = (ax -. cx) *. (by -. cy) in
+  let detright = (ay -. cy) *. (bx -. cx) in
+  let det = detleft -. detright in
+  let detsum =
+    if detleft > 0.0 then if detright <= 0.0 then nan else detleft +. detright
+    else if detleft < 0.0 then
+      if detright >= 0.0 then nan else -.detleft -. detright
+    else nan
+  in
+  if Float.is_nan detsum then compare det 0.0
+  else if Float.abs det >= ccw_errbound_a *. detsum then compare det 0.0
+  else orient2d_exact ax ay bx by cx cy
+
+let det3_exact a b c d e f g h i =
+  (* a(ei - fh) - b(di - fg) + c(dh - eg), all entries expansions. *)
+  let open Expansion in
+  let minor x y z w = sub (mul x y) (mul z w) in
+  let t1 = mul a (minor e i f h) in
+  let t2 = mul b (minor d i f g) in
+  let t3 = mul c (minor d h e g) in
+  sign (add (sub t1 t2) t3)
+
+let incircle_exact ax ay bx by cx cy dx dy =
+  let adx = ediff ax dx and ady = ediff ay dy in
+  let bdx = ediff bx dx and bdy = ediff by dy in
+  let cdx = ediff cx dx and cdy = ediff cy dy in
+  let lift x y = Expansion.add (Expansion.mul x x) (Expansion.mul y y) in
+  det3_exact adx ady (lift adx ady) bdx bdy (lift bdx bdy) cdx cdy (lift cdx cdy)
+
+(* Sign of the in-circle determinant: > 0 when d lies strictly inside the
+   circumcircle of (a, b, c), which must be in counter-clockwise
+   order. *)
+let incircle (a : Point.t) (b : Point.t) (c : Point.t) (d : Point.t) =
+  let ax = a.Point.x and ay = a.Point.y in
+  let bx = b.Point.x and by = b.Point.y in
+  let cx = c.Point.x and cy = c.Point.y in
+  let dx = d.Point.x and dy = d.Point.y in
+  let adx = ax -. dx and ady = ay -. dy in
+  let bdx = bx -. dx and bdy = by -. dy in
+  let cdx = cx -. dx and cdy = cy -. dy in
+  let bdxcdy = bdx *. cdy and cdxbdy = cdx *. bdy in
+  let alift = (adx *. adx) +. (ady *. ady) in
+  let cdxady = cdx *. ady and adxcdy = adx *. cdy in
+  let blift = (bdx *. bdx) +. (bdy *. bdy) in
+  let adxbdy = adx *. bdy and bdxady = bdx *. ady in
+  let clift = (cdx *. cdx) +. (cdy *. cdy) in
+  let det =
+    (alift *. (bdxcdy -. cdxbdy))
+    +. (blift *. (cdxady -. adxcdy))
+    +. (clift *. (adxbdy -. bdxady))
+  in
+  let permanent =
+    ((Float.abs bdxcdy +. Float.abs cdxbdy) *. alift)
+    +. ((Float.abs cdxady +. Float.abs adxcdy) *. blift)
+    +. ((Float.abs adxbdy +. Float.abs bdxady) *. clift)
+  in
+  let errbound = icc_errbound_a *. permanent in
+  if det > errbound || -.det > errbound then compare det 0.0
+  else incircle_exact ax ay bx by cx cy dx dy
+
+(* Circumcenter of a non-degenerate triangle; plain floating point (used
+   for refinement point placement, where exactness is not required). *)
+let circumcenter (a : Point.t) (b : Point.t) (c : Point.t) =
+  let abx = b.Point.x -. a.Point.x and aby = b.Point.y -. a.Point.y in
+  let acx = c.Point.x -. a.Point.x and acy = c.Point.y -. a.Point.y in
+  let d = 2.0 *. ((abx *. acy) -. (aby *. acx)) in
+  if d = 0.0 then None
+  else begin
+    let ab2 = (abx *. abx) +. (aby *. aby) in
+    let ac2 = (acx *. acx) +. (acy *. acy) in
+    let ux = ((acy *. ab2) -. (aby *. ac2)) /. d in
+    let uy = ((abx *. ac2) -. (acx *. ab2)) /. d in
+    Some (Point.make (a.Point.x +. ux) (a.Point.y +. uy))
+  end
+
+(* Is [p] inside (or on the boundary of) triangle (a, b, c) in CCW
+   order? *)
+let in_triangle a b c p =
+  orient2d a b p >= 0 && orient2d b c p >= 0 && orient2d c a p >= 0
+
+(* Minimum angle of a triangle, in degrees; the refinement quality
+   test. *)
+let min_angle_deg a b c =
+  let angle u v w =
+    (* angle at v *)
+    let d1 = Point.sub u v and d2 = Point.sub w v in
+    let cosv = Point.dot d1 d2 /. (Point.dist u v *. Point.dist w v) in
+    acos (Float.max (-1.0) (Float.min 1.0 cosv)) *. 180.0 /. Float.pi
+  in
+  Float.min (angle b a c) (Float.min (angle a b c) (angle a c b))

@@ -1,0 +1,23 @@
+(** Robust geometric predicates: floating-point filters with exact
+    expansion fallback.
+
+    Exact signs make the triangulation algorithms correct on degenerate
+    inputs and deterministic everywhere. *)
+
+val orient2d : Point.t -> Point.t -> Point.t -> int
+(** [> 0] when (a, b, c) turn counter-clockwise, [0] when collinear,
+    [< 0] clockwise. Exact. *)
+
+val incircle : Point.t -> Point.t -> Point.t -> Point.t -> int
+(** [incircle a b c d > 0] when [d] is strictly inside the circumcircle
+    of CCW triangle (a, b, c). Exact. *)
+
+val circumcenter : Point.t -> Point.t -> Point.t -> Point.t option
+(** [None] for degenerate (collinear) triangles. Approximate (used only
+    for point placement). *)
+
+val in_triangle : Point.t -> Point.t -> Point.t -> Point.t -> bool
+(** Containment in a CCW triangle, boundary inclusive. Exact. *)
+
+val min_angle_deg : Point.t -> Point.t -> Point.t -> float
+(** Smallest interior angle in degrees (refinement quality measure). *)

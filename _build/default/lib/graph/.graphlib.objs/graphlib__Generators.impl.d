@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Csr List Parallel

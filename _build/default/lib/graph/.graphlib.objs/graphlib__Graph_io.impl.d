@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Csr Fun List Parallel Printf String

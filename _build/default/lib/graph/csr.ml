@@ -1,0 +1,103 @@
+(* Compressed-sparse-row directed graphs.
+
+   The immutable topology shared by the graph benchmarks (bfs, mis, pfp).
+   Node ids are 0..n-1; the out-edges of u occupy the index range
+   [offsets.(u), offsets.(u+1)) of [targets]. Edge indices are stable and
+   usable as keys for per-edge payload arrays (capacities, flows). *)
+
+type t = { offsets : int array; targets : int array }
+
+let nodes t = Array.length t.offsets - 1
+let edges t = Array.length t.targets
+
+let of_adjacency adj =
+  let n = Array.length adj in
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + List.length adj.(u)
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  for u = 0 to n - 1 do
+    List.iteri (fun i v -> targets.(offsets.(u) + i) <- v) adj.(u)
+  done;
+  { offsets; targets }
+
+let of_edges ~n edge_list =
+  let degree = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Csr.of_edges: node out of range";
+      degree.(u) <- degree.(u) + 1)
+    edge_list;
+  let offsets = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    offsets.(u + 1) <- offsets.(u) + degree.(u)
+  done;
+  let cursor = Array.copy offsets in
+  let targets = Array.make offsets.(n) 0 in
+  Array.iter
+    (fun (u, v) ->
+      targets.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    edge_list;
+  { offsets; targets }
+
+let out_degree t u = t.offsets.(u + 1) - t.offsets.(u)
+
+let edge_range t u = (t.offsets.(u), t.offsets.(u + 1))
+
+let edge_target t e = t.targets.(e)
+
+let iter_succ t u f =
+  for e = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    f t.targets.(e)
+  done
+
+let iter_succ_edges t u f =
+  for e = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+    f e t.targets.(e)
+  done
+
+let fold_succ t u f acc =
+  let acc = ref acc in
+  iter_succ t u (fun v -> acc := f !acc v);
+  !acc
+
+let exists_succ t u p =
+  let rec go e = e < t.offsets.(u + 1) && (p t.targets.(e) || go (e + 1)) in
+  go t.offsets.(u)
+
+let all_edges t =
+  let out = Array.make (edges t) (0, 0) in
+  for u = 0 to nodes t - 1 do
+    iter_succ_edges t u (fun e v -> out.(e) <- (u, v))
+  done;
+  out
+
+let transpose t =
+  let n = nodes t in
+  let rev = Array.map (fun (u, v) -> (v, u)) (all_edges t) in
+  of_edges ~n rev
+
+(* Make the graph symmetric and simple: for every edge (u,v), both
+   directions exist, self-loops dropped, duplicates removed. Used for the
+   undirected benchmarks (mis). *)
+let symmetrize t =
+  let n = nodes t in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v)
+      end)
+    (all_edges t);
+  let adj = Array.map (fun l -> List.sort_uniq compare l) adj in
+  of_adjacency adj
+
+let is_symmetric t =
+  let ok = ref true in
+  for u = 0 to nodes t - 1 do
+    iter_succ t u (fun v -> if not (exists_succ t v (fun w -> w = u)) then ok := false)
+  done;
+  !ok

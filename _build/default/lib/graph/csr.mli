@@ -1,0 +1,39 @@
+(** Immutable compressed-sparse-row directed graphs.
+
+    Node ids are [0..nodes-1]. Edge indices are stable, so per-edge
+    payloads (capacities, flows) live in plain arrays keyed by edge
+    index. *)
+
+type t
+
+val nodes : t -> int
+val edges : t -> int
+
+val of_adjacency : int list array -> t
+(** Build from out-adjacency lists; list order becomes edge order. *)
+
+val of_edges : n:int -> (int * int) array -> t
+(** Build from an edge array. Edge order is preserved per source node.
+    Raises [Invalid_argument] on out-of-range endpoints. *)
+
+val out_degree : t -> int -> int
+
+val edge_range : t -> int -> int * int
+(** [edge_range g u] is the half-open interval of edge indices leaving
+    [u]. *)
+
+val edge_target : t -> int -> int
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+val iter_succ_edges : t -> int -> (int -> int -> unit) -> unit
+val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val exists_succ : t -> int -> (int -> bool) -> bool
+
+val all_edges : t -> (int * int) array
+val transpose : t -> t
+
+val symmetrize : t -> t
+(** Undirected, simple version: both directions present, no self-loops,
+    no duplicate edges, sorted adjacency. *)
+
+val is_symmetric : t -> bool

@@ -1,0 +1,70 @@
+(* Synthetic graph generators matching the paper's inputs (§4.2):
+   uniform k-out random graphs for bfs/mis/pfp, plus grid and R-MAT
+   graphs for broader testing. All are deterministic in the seed. *)
+
+let kout ?(seed = 1) ~n ~k () =
+  if n <= 0 then invalid_arg "Generators.kout: n must be positive";
+  if k < 0 || (k >= n && n > 1) then invalid_arg "Generators.kout: need 0 <= k < n";
+  let g = Parallel.Splitmix.create seed in
+  let adj = Array.make n [] in
+  for u = 0 to n - 1 do
+    (* k distinct targets, none equal to u. *)
+    let chosen = ref [] in
+    let count = ref 0 in
+    while !count < k do
+      let v = Parallel.Splitmix.int g n in
+      if v <> u && not (List.mem v !chosen) then begin
+        chosen := v :: !chosen;
+        incr count
+      end
+    done;
+    adj.(u) <- List.rev !chosen
+  done;
+  Csr.of_adjacency adj
+
+let grid2d ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Generators.grid2d: dimensions must be positive";
+  let id r c = (r * cols) + c in
+  let adj = Array.make (rows * cols) [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let ns = ref [] in
+      if r + 1 < rows then ns := id (r + 1) c :: !ns;
+      if r > 0 then ns := id (r - 1) c :: !ns;
+      if c + 1 < cols then ns := id r (c + 1) :: !ns;
+      if c > 0 then ns := id r (c - 1) :: !ns;
+      adj.(id r c) <- List.rev !ns
+    done
+  done;
+  Csr.of_adjacency adj
+
+(* R-MAT (Chakrabarti et al.): recursive quadrant descent with
+   probabilities (a, b, c, d). Produces the skewed degree distributions
+   of social-network-like graphs. *)
+let rmat ?(seed = 1) ?(a = 0.45) ?(b = 0.22) ?(c = 0.22) ~scale ~edge_factor () =
+  if scale <= 0 || scale > 30 then invalid_arg "Generators.rmat: scale out of range";
+  let d = 1.0 -. a -. b -. c in
+  if d < 0.0 then invalid_arg "Generators.rmat: probabilities exceed 1";
+  let n = 1 lsl scale in
+  let m = n * edge_factor in
+  let g = Parallel.Splitmix.create seed in
+  let edge () =
+    let u = ref 0 and v = ref 0 in
+    for _ = 1 to scale do
+      let r = Parallel.Splitmix.float g in
+      let du, dv = if r < a then (0, 0) else if r < a +. b then (0, 1) else if r < a +. b +. c then (1, 0) else (1, 1) in
+      u := (!u * 2) + du;
+      v := (!v * 2) + dv
+    done;
+    (!u, !v)
+  in
+  Csr.of_edges ~n (Array.init m (fun _ -> edge ()))
+
+(* The paper's pfp input shape: random graph with a designated source and
+   sink and uniform random capacities. Returns (graph, capacities,
+   source, sink). *)
+let flow_network ?(seed = 1) ?(max_capacity = 100) ~n ~k () =
+  let g = kout ~seed ~n ~k () in
+  let rng = Parallel.Splitmix.create (seed + 17) in
+  let caps = Array.init (Csr.edges g) (fun _ -> 1 + Parallel.Splitmix.int rng max_capacity) in
+  (g, caps, 0, n - 1)

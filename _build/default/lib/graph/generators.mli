@@ -1,0 +1,17 @@
+(** Deterministic synthetic graph generators (paper §4.2 inputs). *)
+
+val kout : ?seed:int -> n:int -> k:int -> unit -> Csr.t
+(** Uniform random graph: each node gets [k] distinct random out-edges
+    (no self-loops) — the bfs/mis/pfp input family of the paper. *)
+
+val grid2d : rows:int -> cols:int -> Csr.t
+(** 4-connected grid, symmetric. *)
+
+val rmat :
+  ?seed:int -> ?a:float -> ?b:float -> ?c:float -> scale:int -> edge_factor:int -> unit -> Csr.t
+(** R-MAT power-law generator; [2^scale] nodes, [edge_factor] edges per
+    node. *)
+
+val flow_network :
+  ?seed:int -> ?max_capacity:int -> n:int -> k:int -> unit -> Csr.t * int array * int * int
+(** Random flow instance: (graph, edge capacities, source, sink). *)

@@ -1,0 +1,73 @@
+(* Plain-text graph serialization: one "u v [w]" edge per line, '#'
+   comments, first non-comment line "n m". Deterministic round-trip. *)
+
+let write_edges oc g =
+  Printf.fprintf oc "# deterministic_galois edge list\n";
+  Printf.fprintf oc "%d %d\n" (Csr.nodes g) (Csr.edges g);
+  for u = 0 to Csr.nodes g - 1 do
+    Csr.iter_succ g u (fun v -> Printf.fprintf oc "%d %d\n" u v)
+  done
+
+let save_edges path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_edges oc g)
+
+let parse_error line what = failwith (Printf.sprintf "Graph_io: line %d: %s" line what)
+
+let read_edges ic =
+  let lineno = ref 0 in
+  let rec next_line () =
+    incr lineno;
+    match input_line ic with
+    | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then next_line () else Some line
+    | exception End_of_file -> None
+  in
+  let header =
+    match next_line () with
+    | None -> parse_error !lineno "missing header"
+    | Some l -> l
+  in
+  let n, m =
+    match String.split_on_char ' ' header with
+    | [ n; m ] -> (
+        match (int_of_string_opt n, int_of_string_opt m) with
+        | Some n, Some m when n >= 0 && m >= 0 -> (n, m)
+        | _ -> parse_error !lineno "bad header")
+    | _ -> parse_error !lineno "bad header"
+  in
+  let edges = Array.make m (0, 0) in
+  for i = 0 to m - 1 do
+    match next_line () with
+    | None -> parse_error !lineno "unexpected end of file"
+    | Some l -> (
+        match List.filter (fun s -> s <> "") (String.split_on_char ' ' l) with
+        | u :: v :: _ -> (
+            match (int_of_string_opt u, int_of_string_opt v) with
+            | Some u, Some v -> edges.(i) <- (u, v)
+            | _ -> parse_error !lineno "bad edge")
+        | _ -> parse_error !lineno "bad edge")
+  done;
+  Csr.of_edges ~n edges
+
+let load_edges path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_edges ic)
+
+(* Deterministic uniform edge weights in [1, max_weight]. *)
+let random_weights ?(seed = 1) ?(max_weight = 100) g =
+  let rng = Parallel.Splitmix.create seed in
+  Array.init (Csr.edges g) (fun _ -> 1 + Parallel.Splitmix.int rng max_weight)
+
+(* Weights for symmetric graphs where both directions of an undirected
+   edge must carry the same weight (e.g. minimum spanning forest): the
+   weight is a deterministic function of the unordered endpoint pair. *)
+let undirected_random_weights ?(seed = 1) ?(max_weight = 100) g =
+  let edges = Csr.all_edges g in
+  Array.map
+    (fun (u, v) ->
+      let a = min u v and b = max u v in
+      let rng = Parallel.Splitmix.create (seed + (a * 1_000_003) + b) in
+      1 + Parallel.Splitmix.int rng max_weight)
+    edges

@@ -1,0 +1,18 @@
+(** Edge-list serialization and per-edge weight generation. *)
+
+val write_edges : out_channel -> Csr.t -> unit
+val save_edges : string -> Csr.t -> unit
+
+val read_edges : in_channel -> Csr.t
+(** Raises [Failure] with a line number on malformed input. *)
+
+val load_edges : string -> Csr.t
+
+val random_weights : ?seed:int -> ?max_weight:int -> Csr.t -> int array
+(** Deterministic uniform weights in [\[1, max_weight\]], indexed by edge
+    id. *)
+
+val undirected_random_weights : ?seed:int -> ?max_weight:int -> Csr.t -> int array
+(** Like {!random_weights}, but the two directions of an undirected edge
+    in a symmetric graph get equal weights (required by e.g. minimum
+    spanning forest). *)

@@ -1,0 +1,1 @@
+lib/mesh/mesh.ml: Array Atomic Galois Geometry Hashtbl List Mutex Option Pointstore Printf String

@@ -1,0 +1,1 @@
+lib/mesh/pointstore.ml: Array Atomic Geometry Mutex

@@ -1,0 +1,1 @@
+lib/parallel/barrier.ml: Condition Mutex

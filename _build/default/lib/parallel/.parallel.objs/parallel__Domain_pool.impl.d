@@ -1,0 +1,1 @@
+lib/parallel/domain_pool.ml: Atomic Condition Domain Fun List Mutex Option

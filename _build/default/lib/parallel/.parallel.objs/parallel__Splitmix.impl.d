@@ -1,0 +1,1 @@
+lib/parallel/splitmix.ml: Int64

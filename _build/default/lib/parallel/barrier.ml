@@ -1,0 +1,36 @@
+(* A reusable sense-reversing barrier.
+
+   The container this reproduction runs in may have fewer cores than
+   participating domains, so the barrier blocks on a condition variable
+   instead of spinning; spinning with oversubscribed domains serializes
+   horribly. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable sense : bool;
+}
+
+let create parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+  { mutex = Mutex.create (); cond = Condition.create (); parties; arrived = 0; sense = false }
+
+let parties t = t.parties
+
+let wait t =
+  Mutex.lock t.mutex;
+  let my_sense = t.sense in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    (* Last arriver releases everyone and flips the sense for reuse. *)
+    t.arrived <- 0;
+    t.sense <- not t.sense;
+    Condition.broadcast t.cond
+  end
+  else
+    while t.sense = my_sense do
+      Condition.wait t.cond t.mutex
+    done;
+  Mutex.unlock t.mutex

@@ -1,0 +1,14 @@
+(** Reusable sense-reversing barrier for a fixed set of participants. *)
+
+type t
+
+val create : int -> t
+(** [create parties] makes a barrier that releases once [parties] domains
+    have called {!wait}. Raises [Invalid_argument] on a non-positive
+    count. *)
+
+val parties : t -> int
+
+val wait : t -> unit
+(** Block until all parties arrive. The barrier resets automatically and
+    can be reused for any number of rounds. *)

@@ -1,0 +1,138 @@
+(* A fixed pool of domains executing SPMD jobs.
+
+   Workers block on a condition variable between jobs rather than
+   spinning, so the pool behaves sensibly even when domains outnumber
+   cores (the common case in the reproduction container). The caller
+   participates as worker 0, so a pool of size [n] spawns [n - 1]
+   domains. *)
+
+type job = int -> unit
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  job_ready : Condition.t;
+  job_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable remaining : int;
+  mutable stop : bool;
+  mutable failure : exn option;
+  mutable domains : unit Domain.t list;
+}
+
+let record_failure t exn =
+  Mutex.lock t.mutex;
+  if t.failure = None then t.failure <- Some exn;
+  Mutex.unlock t.mutex
+
+let worker_loop t index =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while t.generation = !seen && not t.stop do
+      Condition.wait t.job_ready t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      (try job index with exn -> record_failure t exn);
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.job_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create size =
+  if size <= 0 then invalid_arg "Domain_pool.create: size must be positive";
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      job_ready = Condition.create ();
+      job_done = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      stop = false;
+      failure = None;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let size t = t.size
+
+let run t job =
+  if t.stop then invalid_arg "Domain_pool.run: pool is shut down";
+  Mutex.lock t.mutex;
+  t.job <- Some job;
+  t.generation <- t.generation + 1;
+  t.remaining <- t.size - 1;
+  t.failure <- None;
+  Condition.broadcast t.job_ready;
+  Mutex.unlock t.mutex;
+  (try job 0 with exn -> record_failure t exn);
+  Mutex.lock t.mutex;
+  while t.remaining > 0 do
+    Condition.wait t.job_done t.mutex
+  done;
+  let failure = t.failure in
+  t.job <- None;
+  Mutex.unlock t.mutex;
+  match failure with None -> () | Some exn -> raise exn
+
+let shutdown t =
+  if not t.stop then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.job_ready;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Dynamic chunk size: small enough for balance, large enough to keep the
+   shared counter off the critical path. *)
+let default_chunk lo hi size =
+  let n = hi - lo in
+  max 1 (min 1024 (n / (size * 8)))
+
+let parallel_for ?chunk t lo hi body =
+  if hi > lo then begin
+    let chunk = match chunk with Some c -> max 1 c | None -> default_chunk lo hi t.size in
+    let next = Atomic.make lo in
+    run t (fun _worker ->
+        let continue_ = ref true in
+        while !continue_ do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= hi then continue_ := false
+          else
+            for i = start to min (start + chunk) hi - 1 do
+              body i
+            done
+        done)
+  end
+
+let parallel_for_workers t lo hi body =
+  if hi > lo then
+    run t (fun worker ->
+        (* Contiguous static split: worker w gets one slice, preserving
+           spatial locality of the index range. *)
+        let n = hi - lo in
+        let per = n / t.size and rem = n mod t.size in
+        let start = lo + (worker * per) + min worker rem in
+        let len = per + if worker < rem then 1 else 0 in
+        if len > 0 then body worker start (start + len))

@@ -1,0 +1,35 @@
+(** A fixed pool of OCaml domains executing SPMD-style jobs.
+
+    The calling domain participates as worker [0]; a pool of size [n]
+    spawns [n - 1] additional domains that sleep between jobs. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns a pool of [n] workers. Raises [Invalid_argument]
+    when [n <= 0]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t job] executes [job w] on every worker [w] (0 to [size t - 1])
+    concurrently and returns when all have finished. If any worker
+    raises, one of the raised exceptions is re-raised in the caller after
+    all workers have completed. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. The pool cannot be used afterwards.
+    Idempotent. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] with a fresh pool, shutting it down
+    afterwards even if [f] raises. *)
+
+val parallel_for : ?chunk:int -> t -> int -> int -> (int -> unit) -> unit
+(** [parallel_for t lo hi body] runs [body i] for [lo <= i < hi] with
+    dynamic chunked load balancing. *)
+
+val parallel_for_workers : t -> int -> int -> (int -> int -> int -> unit) -> unit
+(** [parallel_for_workers t lo hi body] statically splits [\[lo, hi)] into
+    contiguous slices and calls [body worker slice_lo slice_hi] once per
+    worker that received a non-empty slice. *)

@@ -1,0 +1,1 @@
+lib/simmachine/coredet_model.mli: Machine

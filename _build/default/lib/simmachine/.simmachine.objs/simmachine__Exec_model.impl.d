@@ -1,0 +1,1 @@
+lib/simmachine/exec_model.ml: Array Float Galois List Machine Option

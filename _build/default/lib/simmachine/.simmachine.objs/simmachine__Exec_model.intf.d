@@ -1,0 +1,1 @@
+lib/simmachine/exec_model.mli: Galois Machine

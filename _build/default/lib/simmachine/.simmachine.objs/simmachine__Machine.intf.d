@@ -1,0 +1,1 @@
+lib/simmachine/machine.mli:

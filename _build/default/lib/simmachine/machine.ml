@@ -1,0 +1,106 @@
+(* Descriptions of the paper's three evaluation machines (§4.3), as cost
+   models for the discrete-event execution simulator.
+
+   The reproduction container has one core, so scaling curves cannot be
+   measured natively; instead, recorded schedules are replayed under
+   these models. Parameters are order-of-magnitude hardware estimates —
+   the figures care about *shape* (who wins, where the knees are), which
+   is driven by structure (barriers, NUMA node crossings, serialization),
+   not by the absolute constants. *)
+
+type t = {
+  name : string;
+  numa_nodes : int;
+  cores_per_node : int;
+  ghz : float;
+  work_cycles : float;  (* cycles per abstract work unit *)
+  atomic_cycles : float;  (* uncontended local atomic operation *)
+  remote_multiplier : float;  (* extra cost factor for cross-node access *)
+  acquire_overhead_cycles : float;
+      (* generic-runtime bookkeeping per mark operation (lock-table
+         indirection, conflict logging); hand-written code avoids most
+         of it *)
+  reread_miss_cycles : float;
+      (* per-location memory penalty when a deterministic commit phase
+         re-touches data whose inspect-phase access was a whole window
+         ago — the paper's §5.4 locality cost, quantified by Fig. 11 *)
+  barrier_base_cycles : float;
+  barrier_per_thread_cycles : float;
+  task_overhead_cycles : float;  (* per-task scheduling cost (queues, marks) *)
+}
+
+let max_threads t = t.numa_nodes * t.cores_per_node
+
+(* Threads fill NUMA nodes in order (as the paper describes for
+   numa8x4); the number of nodes in use determines remote-access
+   probability. *)
+let nodes_used t ~threads = min t.numa_nodes (((threads - 1) / t.cores_per_node) + 1)
+
+let remote_fraction t ~threads =
+  let nodes = nodes_used t ~threads in
+  if nodes <= 1 then 0.0 else float_of_int (nodes - 1) /. float_of_int nodes
+
+(* m4x10: four ten-core Xeon E7-4860, 2.27 GHz. Glueless QPI: remote
+   access moderately more expensive. *)
+let m4x10 =
+  {
+    name = "m4x10";
+    numa_nodes = 4;
+    cores_per_node = 10;
+    ghz = 2.27;
+    work_cycles = 60.0;
+    atomic_cycles = 40.0;
+    remote_multiplier = 2.0;
+    acquire_overhead_cycles = 30.0;
+    reread_miss_cycles = 300.0;
+    barrier_base_cycles = 2000.0;
+    barrier_per_thread_cycles = 250.0;
+    task_overhead_cycles = 150.0;
+  }
+
+(* m4x6: four six-core Xeon E7540, 2.0 GHz. *)
+let m4x6 =
+  {
+    name = "m4x6";
+    numa_nodes = 4;
+    cores_per_node = 6;
+    ghz = 2.0;
+    work_cycles = 60.0;
+    atomic_cycles = 40.0;
+    remote_multiplier = 2.0;
+    acquire_overhead_cycles = 30.0;
+    reread_miss_cycles = 300.0;
+    barrier_base_cycles = 2000.0;
+    barrier_per_thread_cycles = 250.0;
+    task_overhead_cycles = 150.0;
+  }
+
+(* numa8x4: SGI UV, eight four-core E7520 at 1.87 GHz, two processors
+   per blade; inter-blade traffic crosses NUMALink — remote accesses are
+   much more expensive, producing the paper's sharp drop past one blade
+   (8 threads). *)
+let numa8x4 =
+  {
+    name = "numa8x4";
+    numa_nodes = 4;
+    cores_per_node = 8;
+    ghz = 1.87;
+    work_cycles = 60.0;
+    atomic_cycles = 45.0;
+    remote_multiplier = 6.0;
+    acquire_overhead_cycles = 30.0;
+    reread_miss_cycles = 400.0;
+    barrier_base_cycles = 4000.0;
+    barrier_per_thread_cycles = 600.0;
+    task_overhead_cycles = 150.0;
+  }
+
+let all = [ m4x10; m4x6; numa8x4 ]
+
+let by_name name = List.find_opt (fun m -> m.name = name) all
+
+(* The thread counts the paper sweeps on each machine. *)
+let thread_sweep t =
+  let rec go acc p = if p > max_threads t then List.rev acc else go (p :: acc) (p * 2) in
+  let powers = go [] 1 in
+  if List.mem (max_threads t) powers then powers else powers @ [ max_threads t ]

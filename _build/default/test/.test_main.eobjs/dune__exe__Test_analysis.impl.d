@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Fmt Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Float Galois Geometry Graphlib Hashtbl List Mesh Parallel Printf

@@ -1,0 +1,1 @@
+test/test_apps2.ml: Alcotest Apps Array Filename Fun Galois Graphlib Hashtbl List Parallel QCheck QCheck_alcotest Sys

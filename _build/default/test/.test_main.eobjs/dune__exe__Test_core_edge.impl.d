@@ -1,0 +1,1 @@
+test/test_core_edge.ml: Alcotest Array Fun Galois List Parallel

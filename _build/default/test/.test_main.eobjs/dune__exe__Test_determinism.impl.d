@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Array Fun Galois Hashtbl List Option Parallel Printf QCheck QCheck_alcotest

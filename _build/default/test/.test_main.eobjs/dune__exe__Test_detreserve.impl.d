@@ -1,0 +1,1 @@
+test/test_detreserve.ml: Alcotest Array Atomic Detreserve Fun List Parallel

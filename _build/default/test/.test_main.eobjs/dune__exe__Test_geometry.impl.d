@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Geometry QCheck QCheck_alcotest

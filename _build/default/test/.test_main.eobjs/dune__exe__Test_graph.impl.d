@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Graphlib List Parallel QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Array Galois Gen List Parallel QCheck QCheck_alcotest

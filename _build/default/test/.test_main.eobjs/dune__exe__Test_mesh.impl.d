@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Array Galois Geometry Hashtbl List Mesh Parallel

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Fun Galois List Printf

@@ -1,0 +1,1 @@
+test/test_simmachine.ml: Alcotest Array Cachesim Galois List Simmachine

@@ -1,0 +1,1 @@
+test/test_workset.ml: Alcotest Atomic Galois Parallel Unix

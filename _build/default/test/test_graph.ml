@@ -1,0 +1,120 @@
+module Csr = Graphlib.Csr
+module Gen = Graphlib.Generators
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_of_adjacency () =
+  let g = Csr.of_adjacency [| [ 1; 2 ]; [ 2 ]; [] |] in
+  check_int "nodes" 3 (Csr.nodes g);
+  check_int "edges" 3 (Csr.edges g);
+  check_int "deg 0" 2 (Csr.out_degree g 0);
+  check_int "deg 2" 0 (Csr.out_degree g 2);
+  let succ = Csr.fold_succ g 0 (fun acc v -> v :: acc) [] in
+  Alcotest.(check (list int)) "succ of 0" [ 2; 1 ] succ
+
+let test_of_edges () =
+  let g = Csr.of_edges ~n:4 [| (0, 1); (2, 3); (0, 3); (1, 0) |] in
+  check_int "edges" 4 (Csr.edges g);
+  check_int "deg 0" 2 (Csr.out_degree g 0);
+  check_bool "0 -> 3" true (Csr.exists_succ g 0 (fun v -> v = 3));
+  check_bool "3 has no succ" false (Csr.exists_succ g 3 (fun _ -> true))
+
+let test_of_edges_rejects_bad () =
+  Alcotest.check_raises "out of range" (Invalid_argument "Csr.of_edges: node out of range")
+    (fun () -> ignore (Csr.of_edges ~n:2 [| (0, 5) |]))
+
+let test_transpose () =
+  let g = Csr.of_edges ~n:3 [| (0, 1); (1, 2); (0, 2) |] in
+  let t = Csr.transpose g in
+  check_bool "1 -> 0 in transpose" true (Csr.exists_succ t 1 (fun v -> v = 0));
+  check_bool "2 -> 1 in transpose" true (Csr.exists_succ t 2 (fun v -> v = 1));
+  check_int "edge count preserved" (Csr.edges g) (Csr.edges t)
+
+let test_symmetrize () =
+  let g = Csr.of_edges ~n:4 [| (0, 1); (1, 0); (2, 2); (1, 3) |] in
+  let s = Csr.symmetrize g in
+  check_bool "symmetric" true (Csr.is_symmetric s);
+  check_bool "self loop dropped" false (Csr.exists_succ s 2 (fun v -> v = 2));
+  check_bool "0-1 single edge each way" true (Csr.out_degree s 0 = 1);
+  check_bool "3 -> 1 added" true (Csr.exists_succ s 3 (fun v -> v = 1))
+
+let test_edge_range_targets () =
+  let g = Csr.of_adjacency [| [ 2; 1 ]; []; [ 0 ] |] in
+  let lo, hi = Csr.edge_range g 0 in
+  check_int "range width" 2 (hi - lo);
+  check_int "first target" 2 (Csr.edge_target g lo)
+
+let test_kout_degrees () =
+  let g = Gen.kout ~seed:3 ~n:100 ~k:5 () in
+  check_int "nodes" 100 (Csr.nodes g);
+  check_int "edges" 500 (Csr.edges g);
+  for u = 0 to 99 do
+    check_int "degree" 5 (Csr.out_degree g u);
+    check_bool "no self loop" false (Csr.exists_succ g u (fun v -> v = u));
+    (* distinct targets *)
+    let succ = List.sort compare (Csr.fold_succ g u (fun acc v -> v :: acc) []) in
+    check_int "distinct" 5 (List.length (List.sort_uniq compare succ))
+  done
+
+let test_kout_deterministic () =
+  let a = Gen.kout ~seed:42 ~n:50 ~k:3 () and b = Gen.kout ~seed:42 ~n:50 ~k:3 () in
+  for u = 0 to 49 do
+    let sa = Csr.fold_succ a u (fun acc v -> v :: acc) [] in
+    let sb = Csr.fold_succ b u (fun acc v -> v :: acc) [] in
+    if sa <> sb then Alcotest.failf "kout differs at node %d" u
+  done
+
+let test_kout_rejects_bad () =
+  Alcotest.check_raises "k >= n" (Invalid_argument "Generators.kout: need 0 <= k < n") (fun () ->
+      ignore (Gen.kout ~n:3 ~k:3 ()))
+
+let test_grid () =
+  let g = Gen.grid2d ~rows:3 ~cols:4 in
+  check_int "nodes" 12 (Csr.nodes g);
+  check_bool "symmetric" true (Csr.is_symmetric g);
+  (* Corner has degree 2, interior 4. *)
+  check_int "corner degree" 2 (Csr.out_degree g 0);
+  check_int "interior degree" 4 (Csr.out_degree g 5)
+
+let test_rmat () =
+  let g = Gen.rmat ~seed:5 ~scale:8 ~edge_factor:4 () in
+  check_int "nodes" 256 (Csr.nodes g);
+  check_int "edges" 1024 (Csr.edges g)
+
+let test_flow_network_gen () =
+  let g, caps, s, t = Gen.flow_network ~seed:1 ~n:20 ~k:3 () in
+  check_int "caps size" (Csr.edges g) (Array.length caps);
+  check_bool "caps positive" true (Array.for_all (fun c -> c > 0) caps);
+  check_int "source" 0 s;
+  check_int "sink" 19 t
+
+(* Property: symmetrize is idempotent. *)
+let prop_symmetrize_idempotent =
+  QCheck.Test.make ~name:"symmetrize idempotent" ~count:50
+    QCheck.(pair (int_range 2 30) (int_range 0 60))
+    (fun (n, m) ->
+      let g = Parallel.Splitmix.create (n + (m * 1000)) in
+      let edges =
+        Array.init m (fun _ -> (Parallel.Splitmix.int g n, Parallel.Splitmix.int g n))
+      in
+      let s = Csr.symmetrize (Csr.of_edges ~n edges) in
+      let s2 = Csr.symmetrize s in
+      Csr.edges s = Csr.edges s2 && Csr.is_symmetric s)
+
+let suite =
+  [
+    Alcotest.test_case "of_adjacency" `Quick test_of_adjacency;
+    Alcotest.test_case "of_edges" `Quick test_of_edges;
+    Alcotest.test_case "of_edges range check" `Quick test_of_edges_rejects_bad;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "symmetrize" `Quick test_symmetrize;
+    Alcotest.test_case "edge ranges" `Quick test_edge_range_targets;
+    Alcotest.test_case "kout degrees/self-loops/distinctness" `Quick test_kout_degrees;
+    Alcotest.test_case "kout deterministic" `Quick test_kout_deterministic;
+    Alcotest.test_case "kout argument check" `Quick test_kout_rejects_bad;
+    Alcotest.test_case "grid2d" `Quick test_grid;
+    Alcotest.test_case "rmat sizes" `Quick test_rmat;
+    Alcotest.test_case "flow network generator" `Quick test_flow_network_gen;
+    QCheck_alcotest.to_alcotest prop_symmetrize_idempotent;
+  ]

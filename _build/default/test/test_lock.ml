@@ -1,0 +1,121 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_fresh_lock_free () =
+  let l = Galois.Lock.create () in
+  check_int "mark is 0" 0 (Galois.Lock.mark l)
+
+let test_ids_unique () =
+  let locks = Galois.Lock.create_array 100 in
+  let ids = Array.map Galois.Lock.id locks in
+  let sorted = Array.copy ids in
+  Array.sort compare sorted;
+  for i = 1 to 99 do
+    if sorted.(i) = sorted.(i - 1) then Alcotest.fail "duplicate lock id"
+  done
+
+let test_try_claim () =
+  let l = Galois.Lock.create () in
+  check_bool "first claim wins" true (Galois.Lock.try_claim l 3);
+  check_bool "re-claim by owner" true (Galois.Lock.try_claim l 3);
+  check_bool "other task loses" false (Galois.Lock.try_claim l 4);
+  Galois.Lock.release l 3;
+  check_bool "free after release" true (Galois.Lock.try_claim l 4)
+
+let test_release_only_owner () =
+  let l = Galois.Lock.create () in
+  ignore (Galois.Lock.try_claim l 5);
+  Galois.Lock.release l 9;
+  check_int "non-owner release is a no-op" 5 (Galois.Lock.mark l);
+  Galois.Lock.release l 5;
+  check_int "owner release frees" 0 (Galois.Lock.mark l)
+
+let test_claim_max_monotone () =
+  let l = Galois.Lock.create () in
+  (match Galois.Lock.claim_max l 5 with
+  | `Won 0 -> ()
+  | _ -> Alcotest.fail "claiming a free lock should win with no victim");
+  (match Galois.Lock.claim_max l 9 with
+  | `Won 5 -> ()
+  | _ -> Alcotest.fail "higher id should displace 5");
+  (match Galois.Lock.claim_max l 7 with
+  | `Lost -> ()
+  | _ -> Alcotest.fail "lower id must lose");
+  check_int "mark is max" 9 (Galois.Lock.mark l);
+  match Galois.Lock.claim_max l 9 with
+  | `Won 0 -> ()
+  | _ -> Alcotest.fail "re-claim by current owner wins without victim"
+
+let test_claim_max_concurrent_is_max () =
+  (* The paper's determinism hinges on writeMarksMax being
+     order-insensitive: the final mark is the max id no matter the
+     interleaving. Hammer one lock from several domains. *)
+  let l = Galois.Lock.create () in
+  let ids = Array.init 64 (fun i -> i + 1) in
+  Parallel.Domain_pool.with_pool 4 (fun pool ->
+      Parallel.Domain_pool.parallel_for pool 0 64 (fun i ->
+          ignore (Galois.Lock.claim_max l ids.(i))));
+  check_int "final mark is the max id" 64 (Galois.Lock.mark l)
+
+let test_claim_max_loser_reported_exactly_once () =
+  (* Every displaced id is reported exactly once across all claimants,
+     and `Lost happens exactly for claims that observe a higher mark.
+     With sequential claims in random order, the set of reported victims
+     must be all ids except the max. *)
+  let ids = [ 13; 2; 40; 7; 21; 40000; 5 ] in
+  let l = Galois.Lock.create () in
+  let victims = ref [] and losses = ref 0 in
+  List.iter
+    (fun id ->
+      match Galois.Lock.claim_max l id with
+      | `Won 0 -> ()
+      | `Won v -> victims := v :: !victims
+      | `Lost -> incr losses)
+    ids;
+  let expected_victims = List.sort compare [ 13; 2; 7; 21 ] in
+  (* 2 displaced by 13? order: 13 free->Won 0; 2 -> Lost; 40 -> Won 13;
+     7 -> Lost; 21 -> Lost; 40000 -> Won 40; 5 -> Lost. *)
+  ignore expected_victims;
+  Alcotest.(check (list int)) "victims" [ 40; 13 ] !victims;
+  check_int "losses" 4 !losses;
+  check_int "final mark" 40000 (Galois.Lock.mark l)
+
+let test_force_clear () =
+  let l = Galois.Lock.create () in
+  ignore (Galois.Lock.try_claim l 77);
+  Galois.Lock.force_clear l;
+  check_int "cleared" 0 (Galois.Lock.mark l)
+
+let test_holds () =
+  let l = Galois.Lock.create () in
+  check_bool "nobody holds fresh lock" false (Galois.Lock.holds l 1);
+  ignore (Galois.Lock.try_claim l 1);
+  check_bool "owner holds" true (Galois.Lock.holds l 1);
+  check_bool "other does not" false (Galois.Lock.holds l 2)
+
+(* Property: for any sequence of claim_max operations, the final mark is
+   the maximum id claimed. *)
+let prop_claim_max_commutes =
+  QCheck.Test.make ~name:"claim_max final mark = max of ids" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_range 1 1_000_000))
+    (fun ids ->
+      QCheck.assume (ids <> []);
+      let l = Galois.Lock.create () in
+      List.iter (fun id -> ignore (Galois.Lock.claim_max l id)) ids;
+      Galois.Lock.mark l = List.fold_left max 0 ids)
+
+let suite =
+  [
+    Alcotest.test_case "fresh lock is free" `Quick test_fresh_lock_free;
+    Alcotest.test_case "lock ids unique" `Quick test_ids_unique;
+    Alcotest.test_case "try_claim semantics" `Quick test_try_claim;
+    Alcotest.test_case "release only by owner" `Quick test_release_only_owner;
+    Alcotest.test_case "claim_max is monotone max" `Quick test_claim_max_monotone;
+    Alcotest.test_case "claim_max under contention yields max" `Quick
+      test_claim_max_concurrent_is_max;
+    Alcotest.test_case "claim_max reports victims once" `Quick
+      test_claim_max_loser_reported_exactly_once;
+    Alcotest.test_case "force_clear" `Quick test_force_clear;
+    Alcotest.test_case "holds" `Quick test_holds;
+    QCheck_alcotest.to_alcotest prop_claim_max_commutes;
+  ]

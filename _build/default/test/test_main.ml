@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "deterministic_galois"
+    [
+      ("splitmix", Test_splitmix.suite);
+      ("parallel", Test_parallel.suite);
+      ("lock", Test_lock.suite);
+      ("workset", Test_workset.suite);
+      ("runtime", Test_runtime.suite);
+      ("determinism", Test_determinism.suite);
+      ("core-edge", Test_core_edge.suite);
+      ("graph", Test_graph.suite);
+      ("geometry", Test_geometry.suite);
+      ("mesh", Test_mesh.suite);
+      ("detreserve", Test_detreserve.suite);
+      ("apps", Test_apps.suite);
+      ("apps2", Test_apps2.suite);
+      ("simmachine", Test_simmachine.suite);
+      ("analysis", Test_analysis.suite);
+      ("figures", Test_figures.suite);
+    ]

@@ -1,0 +1,170 @@
+module Point = Geometry.Point
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let no_acquire (_ : Mesh.triangle) = ()
+let no_register (_ : Galois.Lock.t) = ()
+
+let test_pointstore () =
+  let ps = Mesh.Pointstore.create ~capacity:4 () in
+  let ids = Array.init 1000 (fun i -> Mesh.Pointstore.add ps (Point.make (float_of_int i) 0.0)) in
+  check_int "count" 1000 (Mesh.Pointstore.count ps);
+  Array.iteri (fun i id -> check_int "dense ids" i id) ids;
+  Alcotest.(check (float 0.0)) "retrieval" 123.0 (Mesh.Pointstore.get ps 123).Point.x;
+  Alcotest.check_raises "bad id" (Invalid_argument "Pointstore.get: id out of range") (fun () ->
+      ignore (Mesh.Pointstore.get ps 1000))
+
+let test_pointstore_concurrent () =
+  let ps = Mesh.Pointstore.create ~capacity:8 () in
+  Parallel.Domain_pool.with_pool 4 (fun pool ->
+      Parallel.Domain_pool.parallel_for pool 0 5000 (fun i ->
+          ignore (Mesh.Pointstore.add ps (Point.make (float_of_int i) 1.0))));
+  check_int "all added" 5000 (Mesh.Pointstore.count ps)
+
+(* Two triangles sharing an edge. *)
+let two_triangle_mesh () =
+  let m = Mesh.create () in
+  let a = Mesh.add_point m (Point.make 0.0 0.0) in
+  let b = Mesh.add_point m (Point.make 1.0 0.0) in
+  let c = Mesh.add_point m (Point.make 0.0 1.0) in
+  (* d well away from (1,1) so the two triangles are not cocircular. *)
+  let d = Mesh.add_point m (Point.make 2.0 2.0) in
+  let t1 = Mesh.new_triangle m a b c in
+  (* CCW: (b, d, c) *)
+  let t2 = Mesh.new_triangle m b d c in
+  (* shared edge (b, c): opposite a in t1 (slot 0), opposite d in t2
+     (slot 1). *)
+  t1.Mesh.nbr.(0) <- Some t2;
+  t2.Mesh.nbr.(1) <- Some t1;
+  (m, t1, t2, (a, b, c, d))
+
+let test_consistency_check () =
+  let m, _, _, _ = two_triangle_mesh () in
+  match Mesh.check_consistency m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_consistency_detects_breakage () =
+  let m, t1, _, _ = two_triangle_mesh () in
+  t1.Mesh.nbr.(0) <- None;
+  (* asymmetric link from t2 *)
+  match Mesh.check_consistency m with
+  | Ok () -> Alcotest.fail "expected inconsistency"
+  | Error _ -> ()
+
+let test_facing_index () =
+  let m, t1, t2, (a, b, c, _) = two_triangle_mesh () in
+  ignore m;
+  check_int "t1 faces (b,c) at slot 0" 0 (Mesh.facing_index t1 b c);
+  check_int "t2 faces (b,c) at slot 1" 1 (Mesh.facing_index t2 b c);
+  Alcotest.check_raises "no such edge"
+    (Invalid_argument "Mesh.facing_index: triangles do not share edge {a,b}") (fun () ->
+      ignore (Mesh.facing_index t2 a a))
+
+let test_cavity_single_triangle () =
+  let m, t1, _, _ = two_triangle_mesh () in
+  (* A point near the a-corner: inside t1's circumcircle only. *)
+  let p = Point.make 0.05 0.05 in
+  let cavity = Mesh.collect_cavity m ~acquire:no_acquire ~start:t1 p in
+  check_int "one triangle" 1 (List.length cavity.Mesh.old_tris);
+  check_int "three boundary edges" 3 (List.length cavity.Mesh.boundary)
+
+let test_cavity_two_triangles () =
+  let m, t1, t2, _ = two_triangle_mesh () in
+  ignore t2;
+  (* The shared-edge midpoint lies in both circumcircles. *)
+  let p = Point.make 0.5 0.5 in
+  let cavity = Mesh.collect_cavity m ~acquire:no_acquire ~start:t1 p in
+  check_int "both triangles" 2 (List.length cavity.Mesh.old_tris);
+  check_int "four boundary edges" 4 (List.length cavity.Mesh.boundary)
+
+let test_cavity_acquires_everything () =
+  let m, t1, _, _ = two_triangle_mesh () in
+  let acquired = ref [] in
+  let acquire tri = acquired := tri.Mesh.tid :: !acquired in
+  let _ = Mesh.collect_cavity m ~acquire ~start:t1 (Point.make 0.5 0.5) in
+  (* Both triangles are in the cavity; no outers exist beyond border. *)
+  check_int "both acquired" 2 (List.length (List.sort_uniq compare !acquired))
+
+let test_retriangulate_consistent () =
+  let m, t1, t2, _ = two_triangle_mesh () in
+  let q = Mesh.add_point m (Point.make 0.5 0.5) in
+  let cavity = Mesh.collect_cavity m ~acquire:no_acquire ~start:t1 (Mesh.point m q) in
+  let fresh = Mesh.retriangulate m ~register:no_register cavity q in
+  check_int "star of 4 edges" 4 (List.length fresh);
+  check_bool "old dead" true (not t1.Mesh.alive && not t2.Mesh.alive);
+  check_int "four alive" 4 (Mesh.triangle_count m);
+  (match Mesh.check_consistency m with Ok () -> () | Error e -> Alcotest.fail e);
+  check_int "no Delaunay violations" 0 (Mesh.delaunay_violations m)
+
+let test_blocked_detection () =
+  let m, t1, _, _ = two_triangle_mesh () in
+  (* A point beyond the border edge (a,b) (below the square). *)
+  match Mesh.collect_cavity m ~acquire:no_acquire ~start:t1 (Point.make 0.3 (-0.4)) with
+  | _ -> Alcotest.fail "expected Blocked"
+  | exception Mesh.Blocked (_, _, tri) -> check_int "blocked at t1" t1.Mesh.tid tri.Mesh.tid
+
+let test_bounding_triangle_and_strip () =
+  let m = Mesh.create () in
+  let big, fakes = Mesh.bounding_triangle m in
+  check_int "three fakes" 3 (List.length fakes);
+  check_bool "alive" true big.Mesh.alive;
+  check_int "one triangle" 1 (Mesh.triangle_count m);
+  Mesh.strip_vertices m fakes;
+  check_int "stripped" 0 (Mesh.triangle_count m)
+
+(* Sequential Bowyer–Watson through the mesh API only: insert points one
+   by one, then validate the Delaunay property. This is the substrate
+   check that the dt app builds on. *)
+let test_incremental_delaunay () =
+  let n = 60 in
+  let pts = Point.random_unit_square ~seed:77 n in
+  let m = Mesh.create () in
+  let ids = Array.map (fun p -> Mesh.add_point m p) pts in
+  let big, fakes = Mesh.bounding_triangle m in
+  let container = ref big in
+  Array.iter
+    (fun pid ->
+      let p = Mesh.point m pid in
+      (* point location: walk over alive triangles (slow but simple). *)
+      let start =
+        if !container.Mesh.alive && Mesh.circumcircle_contains m !container p then !container
+        else
+          List.find (fun tri -> Mesh.contains_point m tri p) (Mesh.triangles m)
+      in
+      let cavity = Mesh.collect_cavity m ~acquire:no_acquire ~start p in
+      match Mesh.retriangulate m ~register:no_register cavity pid with
+      | first :: _ -> container := first
+      | [] -> Alcotest.fail "empty retriangulation")
+    ids;
+  (match Mesh.check_consistency m with Ok () -> () | Error e -> Alcotest.fail e);
+  let fake = Hashtbl.create 4 in
+  List.iter (fun f -> Hashtbl.add fake f ()) fakes;
+  check_int "Delaunay among real triangles" 0
+    (Mesh.delaunay_violations ~exclude:(Hashtbl.mem fake) m);
+  (* Every real point is a vertex of some triangle. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun tri -> Array.iter (fun v -> Hashtbl.replace seen v ()) tri.Mesh.v)
+    (Mesh.triangles m);
+  Array.iter
+    (fun pid -> if not (Hashtbl.mem seen pid) then Alcotest.failf "point %d missing" pid)
+    ids
+
+let suite =
+  [
+    Alcotest.test_case "pointstore basics" `Quick test_pointstore;
+    Alcotest.test_case "pointstore concurrent adds" `Quick test_pointstore_concurrent;
+    Alcotest.test_case "consistency check accepts valid mesh" `Quick test_consistency_check;
+    Alcotest.test_case "consistency check detects breakage" `Quick
+      test_consistency_detects_breakage;
+    Alcotest.test_case "facing_index" `Quick test_facing_index;
+    Alcotest.test_case "cavity of one triangle" `Quick test_cavity_single_triangle;
+    Alcotest.test_case "cavity across shared edge" `Quick test_cavity_two_triangles;
+    Alcotest.test_case "cavity acquires all touched" `Quick test_cavity_acquires_everything;
+    Alcotest.test_case "retriangulate restores invariants" `Quick test_retriangulate_consistent;
+    Alcotest.test_case "border blocking detected" `Quick test_blocked_detection;
+    Alcotest.test_case "bounding triangle and strip" `Quick test_bounding_triangle_and_strip;
+    Alcotest.test_case "sequential incremental Delaunay" `Quick test_incremental_delaunay;
+  ]

@@ -1,0 +1,259 @@
+(* End-to-end tests of the runtime on small synthetic Galois programs. *)
+
+let check_int = Alcotest.(check int)
+
+(* --- Bucket-append program: n tasks, task i appends i to bucket
+   (i mod k). Conflicts happen exactly between tasks sharing a bucket. *)
+
+type buckets = { locks : Galois.Lock.t array; cells : int list ref array }
+
+let make_buckets k =
+  { locks = Galois.Lock.create_array k; cells = Array.init k (fun _ -> ref []) }
+
+let bucket_operator b k ctx i =
+  let j = i mod k in
+  Galois.Context.acquire ctx b.locks.(j);
+  Galois.Context.failsafe ctx;
+  b.cells.(j) := i :: !(b.cells.(j))
+
+let run_buckets policy n k =
+  let b = make_buckets k in
+  let report =
+    Galois.Runtime.for_each ~policy
+      ~operator:(bucket_operator b k)
+      (Array.init n (fun i -> i))
+  in
+  (b, report)
+
+let test_serial_buckets () =
+  let n = 100 and k = 7 in
+  let b, report = run_buckets Galois.Policy.serial n k in
+  check_int "commits" n report.stats.commits;
+  check_int "aborts" 0 report.stats.aborts;
+  (* Serial executes in order, so each bucket holds its items in
+     descending order (prepends). *)
+  Array.iteri
+    (fun j cell ->
+      let expected = List.rev (List.filter (fun i -> i mod k = j) (List.init n Fun.id)) in
+      Alcotest.(check (list int)) (Printf.sprintf "bucket %d" j) expected !cell)
+    b.cells
+
+let multiset l = List.sort compare l
+
+let test_nondet_buckets_complete () =
+  let n = 500 and k = 13 in
+  let b, report = run_buckets (Galois.Policy.nondet 4) n k in
+  check_int "commits" n report.stats.commits;
+  let all = multiset (List.concat_map (fun c -> !c) (Array.to_list b.cells)) in
+  Alcotest.(check (list int)) "every task ran exactly once" (List.init n Fun.id) all
+
+let test_det_buckets_complete () =
+  let n = 500 and k = 13 in
+  let b, report = run_buckets (Galois.Policy.det 4) n k in
+  check_int "commits" n report.stats.commits;
+  Alcotest.(check bool) "rounds happened" true (report.stats.rounds > 0);
+  let all = multiset (List.concat_map (fun c -> !c) (Array.to_list b.cells)) in
+  Alcotest.(check (list int)) "every task ran exactly once" (List.init n Fun.id) all
+
+let test_det_aborts_counted () =
+  (* All tasks fight over a single lock: each round commits exactly one
+     task, so aborts must be > 0 and commits = n. *)
+  let n = 64 in
+  let b, report = run_buckets (Galois.Policy.det 3) n 1 in
+  check_int "commits" n report.stats.commits;
+  Alcotest.(check bool) "high conflict causes failed selections" true (report.stats.aborts > 0);
+  check_int "all in one bucket" n (List.length !(b.cells.(0)))
+
+(* --- Task creation: item = depth; depth > 0 pushes two children.
+   Exercises deterministic id assignment for dynamically created work. *)
+
+let tree_operator counter_lock counter ctx depth =
+  Galois.Context.acquire ctx counter_lock;
+  Galois.Context.failsafe ctx;
+  incr counter;
+  if depth > 0 then begin
+    Galois.Context.push ctx (depth - 1);
+    Galois.Context.push ctx (depth - 1)
+  end
+
+let test_task_creation policy () =
+  let depth = 5 in
+  let lock = Galois.Lock.create () in
+  let counter = ref 0 in
+  let report =
+    Galois.Runtime.for_each ~policy ~operator:(tree_operator lock counter) [| depth |]
+  in
+  let expected = (1 lsl (depth + 1)) - 1 in
+  check_int "tree size" expected !counter;
+  check_int "commits" expected report.stats.commits;
+  check_int "created" (expected - 1) report.stats.created
+
+(* --- Cautiousness enforcement. *)
+
+let test_not_cautious_detected () =
+  let l1 = Galois.Lock.create () and l2 = Galois.Lock.create () in
+  let operator ctx () =
+    Galois.Context.acquire ctx l1;
+    Galois.Context.failsafe ctx;
+    Galois.Context.acquire ctx l2
+  in
+  match Galois.Runtime.for_each ~policy:Galois.Policy.serial ~operator [| () |] with
+  | _ -> Alcotest.fail "expected Not_cautious"
+  | exception Galois.Context.Not_cautious -> ()
+
+(* --- Continuation optimization: saved state must reappear at commit;
+   and the final output must not depend on the optimization. *)
+
+let test_continuation_state_reused () =
+  let n = 200 in
+  let locks = Galois.Lock.create_array n in
+  let reused = Atomic.make 0 and computed = Atomic.make 0 in
+  let out = Array.make n 0 in
+  let operator ctx i =
+    let v =
+      match Galois.Context.saved ctx with
+      | Some v ->
+          Atomic.incr reused;
+          v
+      | None ->
+          Galois.Context.acquire ctx locks.(i);
+          Atomic.incr computed;
+          let v = (i * 7) + 1 in
+          Galois.Context.save ctx v;
+          v
+    in
+    Galois.Context.failsafe ctx;
+    out.(i) <- v
+  in
+  let policy =
+    Galois.Policy.det 2
+      ~options:{ Galois.Policy.default_det with continuation = true }
+  in
+  let report = Galois.Runtime.for_each ~policy ~operator (Array.init n Fun.id) in
+  check_int "commits" n report.stats.commits;
+  (* Disjoint neighborhoods: every task commits in its first round, and
+     every commit reuses the state saved at inspection. *)
+  check_int "every commit reused saved state" n (Atomic.get reused);
+  Array.iteri (fun i v -> check_int (Printf.sprintf "out %d" i) ((i * 7) + 1) v) out
+
+let test_continuation_does_not_change_output () =
+  let run continuation =
+    let k = 5 and n = 100 in
+    let b = make_buckets k in
+    let policy =
+      Galois.Policy.det 3 ~options:{ Galois.Policy.default_det with continuation }
+    in
+    let _ =
+      Galois.Runtime.for_each ~policy ~operator:(bucket_operator b k) (Array.init n Fun.id)
+    in
+    Array.map (fun c -> !c) b.cells
+  in
+  let with_cont = run true and without = run false in
+  Array.iteri
+    (fun j cell -> Alcotest.(check (list int)) (Printf.sprintf "bucket %d" j) cell without.(j))
+    with_cont
+
+(* --- validate mode: defeat flags must agree with mark re-verification. *)
+
+let test_validate_mode () =
+  let k = 3 and n = 200 in
+  let b = make_buckets k in
+  let policy =
+    Galois.Policy.det 4 ~options:{ Galois.Policy.default_det with validate = true }
+  in
+  let report =
+    Galois.Runtime.for_each ~policy ~operator:(bucket_operator b k) (Array.init n Fun.id)
+  in
+  check_int "commits under validation" n report.stats.commits
+
+(* --- static ids: duplicate pushes within a generation collapse. *)
+
+let test_static_id_dedup () =
+  (* Initial tasks 0..9; every task pushes item 100 (same static id). The
+     pushed task must execute exactly once (per generation). *)
+  let executions = ref 0 and dup_executions = ref 0 in
+  let lock = Galois.Lock.create () in
+  let operator ctx i =
+    Galois.Context.acquire ctx lock;
+    Galois.Context.failsafe ctx;
+    incr executions;
+    if i < 100 then Galois.Context.push ctx 100 else incr dup_executions
+  in
+  let policy = Galois.Policy.det 2 in
+  let report =
+    Galois.Runtime.for_each ~policy ~static_id:Fun.id ~operator (Array.init 10 Fun.id)
+  in
+  check_int "initial + one deduplicated child" 11 !executions;
+  check_int "task 100 ran once" 1 !dup_executions;
+  check_int "commits" 11 report.stats.commits
+
+(* --- schedule recording sanity. *)
+
+let test_recording () =
+  let k = 4 and n = 50 in
+  let b = make_buckets k in
+  let report =
+    Galois.Runtime.for_each ~policy:(Galois.Policy.det 2) ~record:true
+      ~operator:(bucket_operator b k)
+      (Array.init n Fun.id)
+  in
+  match report.schedule with
+  | Some (Galois.Schedule.Rounds rounds) ->
+      check_int "recorded rounds match stats" report.stats.rounds (List.length rounds);
+      let committed = List.length (Galois.Schedule.committed_tasks (Galois.Schedule.Rounds rounds)) in
+      check_int "recorded commits" n committed
+  | _ -> Alcotest.fail "expected round-structured schedule"
+
+let test_recording_nondet () =
+  let k = 4 and n = 50 in
+  let b = make_buckets k in
+  let report =
+    Galois.Runtime.for_each ~policy:(Galois.Policy.nondet 2) ~record:true
+      ~operator:(bucket_operator b k)
+      (Array.init n Fun.id)
+  in
+  match report.schedule with
+  | Some (Galois.Schedule.Flat attempts) ->
+      let committed = List.length (List.filter (fun r -> r.Galois.Schedule.committed) attempts) in
+      check_int "recorded commits" n committed
+  | _ -> Alcotest.fail "expected flat schedule"
+
+(* --- policy parsing round-trips. *)
+
+let test_policy_parsing () =
+  let roundtrip s =
+    match Galois.Policy.of_string s with
+    | Ok p -> Galois.Policy.to_string p
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "serial" "serial" (roundtrip "serial");
+  Alcotest.(check string) "nondet:8" "nondet:8" (roundtrip "nondet:8");
+  Alcotest.(check string) "det:4" "det:4" (roundtrip "det:4");
+  (match Galois.Policy.of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus policy accepted");
+  match Galois.Policy.of_string "det:-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative threads accepted"
+
+let suite =
+  [
+    Alcotest.test_case "serial buckets in order" `Quick test_serial_buckets;
+    Alcotest.test_case "nondet completes all tasks" `Quick test_nondet_buckets_complete;
+    Alcotest.test_case "det completes all tasks" `Quick test_det_buckets_complete;
+    Alcotest.test_case "det counts failed selections" `Quick test_det_aborts_counted;
+    Alcotest.test_case "serial task creation" `Quick (test_task_creation Galois.Policy.serial);
+    Alcotest.test_case "nondet task creation" `Quick
+      (test_task_creation (Galois.Policy.nondet 4));
+    Alcotest.test_case "det task creation" `Quick (test_task_creation (Galois.Policy.det 4));
+    Alcotest.test_case "cautiousness violations detected" `Quick test_not_cautious_detected;
+    Alcotest.test_case "continuation state reused at commit" `Quick
+      test_continuation_state_reused;
+    Alcotest.test_case "continuation does not change output" `Quick
+      test_continuation_does_not_change_output;
+    Alcotest.test_case "validate mode agrees with flags" `Quick test_validate_mode;
+    Alcotest.test_case "static ids deduplicate pushes" `Quick test_static_id_dedup;
+    Alcotest.test_case "det schedule recording" `Quick test_recording;
+    Alcotest.test_case "nondet schedule recording" `Quick test_recording_nondet;
+    Alcotest.test_case "policy parsing" `Quick test_policy_parsing;
+  ]

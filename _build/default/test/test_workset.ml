@@ -1,0 +1,113 @@
+let check_int = Alcotest.(check int)
+
+let test_drain_sequential () =
+  let ws = Galois.Workset.create [| 1; 2; 3 |] in
+  let seen = ref [] in
+  let rec go () =
+    match Galois.Workset.take ws with
+    | Some x ->
+        seen := x :: !seen;
+        Galois.Workset.complete ws;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check (list int)) "FIFO order" [ 3; 2; 1 ] !seen
+
+let test_empty_terminates () =
+  let ws = Galois.Workset.create [||] in
+  (match Galois.Workset.take ws with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty workset should terminate immediately")
+
+let test_push_new_extends () =
+  let ws = Galois.Workset.create [| 0 |] in
+  (match Galois.Workset.take ws with
+  | Some 0 ->
+      Galois.Workset.push_new ws [ 10; 11 ];
+      Galois.Workset.complete ws
+  | _ -> Alcotest.fail "expected 0");
+  let count = ref 0 in
+  let rec go () =
+    match Galois.Workset.take ws with
+    | Some _ ->
+        incr count;
+        Galois.Workset.complete ws;
+        go ()
+    | None -> ()
+  in
+  go ();
+  check_int "two new tasks" 2 !count
+
+let test_requeue_keeps_pending () =
+  let ws = Galois.Workset.create [| 7 |] in
+  (match Galois.Workset.take ws with
+  | Some 7 -> Galois.Workset.requeue ws 7
+  | _ -> Alcotest.fail "expected 7");
+  (match Galois.Workset.take ws with
+  | Some 7 -> Galois.Workset.complete ws
+  | _ -> Alcotest.fail "expected requeued 7");
+  match Galois.Workset.take ws with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should be terminated"
+
+let test_concurrent_producers_consumers () =
+  (* Each initial task spawns children down to a depth; total consumed
+     count must equal the tree size regardless of interleaving. *)
+  let depth = 6 in
+  let ws = Galois.Workset.create [| depth |] in
+  let consumed = Atomic.make 0 in
+  Parallel.Domain_pool.with_pool 4 (fun pool ->
+      Parallel.Domain_pool.run pool (fun _ ->
+          let rec go () =
+            match Galois.Workset.take ws with
+            | None -> ()
+            | Some d ->
+                Atomic.incr consumed;
+                if d > 0 then Galois.Workset.push_new ws [ d - 1; d - 1 ];
+                Galois.Workset.complete ws;
+                go ()
+          in
+          go ()));
+  (* A full binary tree of height [depth] has 2^(depth+1) - 1 nodes. *)
+  check_int "all tasks consumed" ((1 lsl (depth + 1)) - 1) (Atomic.get consumed)
+
+let test_blocking_take_wakes_on_push () =
+  (* One worker holds the only pending task while others block in take;
+     pushing children must wake them rather than deadlock. *)
+  let ws = Galois.Workset.create [| 0 |] in
+  let woke = Atomic.make 0 in
+  Parallel.Domain_pool.with_pool 3 (fun pool ->
+      Parallel.Domain_pool.run pool (fun w ->
+          if w = 0 then begin
+            match Galois.Workset.take ws with
+            | Some 0 ->
+                (* Let the other workers reach their blocking take. *)
+                Unix.sleepf 0.05;
+                Galois.Workset.push_new ws [ 1; 2 ];
+                Galois.Workset.complete ws
+            | _ -> failwith "worker 0 expected task 0"
+          end
+          else begin
+            let rec go () =
+              match Galois.Workset.take ws with
+              | Some _ ->
+                  Atomic.incr woke;
+                  Galois.Workset.complete ws;
+                  go ()
+              | None -> ()
+            in
+            go ()
+          end));
+  check_int "blocked workers processed pushed tasks" 2 (Atomic.get woke)
+
+let suite =
+  [
+    Alcotest.test_case "sequential drain in FIFO order" `Quick test_drain_sequential;
+    Alcotest.test_case "empty workset terminates" `Quick test_empty_terminates;
+    Alcotest.test_case "push_new extends pending work" `Quick test_push_new_extends;
+    Alcotest.test_case "requeue keeps task pending" `Quick test_requeue_keeps_pending;
+    Alcotest.test_case "concurrent producers and consumers" `Quick
+      test_concurrent_producers_consumers;
+    Alcotest.test_case "blocked take wakes on push" `Quick test_blocking_take_wakes_on_push;
+  ]
