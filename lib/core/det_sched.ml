@@ -164,6 +164,15 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
   let rounds = ref 0 and generations = ref 0 in
   let next_id = ref 1 in
   let round_records = ref [] in
+  (* Round-trace digest: every quantity folded below is deterministic by
+     the argument in the header comment, so the digest is a pure function
+     of the input and the scheduling options — any dependence on thread
+     count or timing shows up as a digest mismatch. Task ids (not items)
+     are folded: ids already encode the deterministic creation order.
+     Lock/location ids are deliberately excluded — they come from a
+     process-global counter and would differ between two runs in the same
+     process. *)
+  let digest = ref Trace_digest.seed in
   (* Per-worker buffers of (parent id, birth index, item). *)
   let child_buffers = Array.make threads [] in
   let todo = ref (Array.to_list (Array.mapi (fun i item -> (0, i, item)) items)) in
@@ -173,6 +182,7 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
     incr generations;
     let generation = form_generation ~static_id ~spread ~next_id !todo in
     todo := [];
+    digest := Trace_digest.fold_int !digest (Array.length generation);
     let next = ref (Array.to_list generation) in
     let next_len = ref (Array.length generation) in
     if !window = 0 then
@@ -262,6 +272,11 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
       for i = w_use - 1 downto 0 do
         if committed.(i) then incr n_committed else failed := cur.(i) :: !failed
       done;
+      digest := Trace_digest.fold_int !digest w_use;
+      Array.iteri
+        (fun i t -> if committed.(i) then digest := Trace_digest.fold_int !digest t.id)
+        cur;
+      digest := Trace_digest.fold_int !digest !n_committed;
       for w = 0 to threads - 1 do
         todo := List.rev_append child_buffers.(w) !todo;
         child_buffers.(w) <- []
@@ -293,7 +308,8 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
   done;
   let time_s = Unix.gettimeofday () -. t0 in
   let stats =
-    Stats.merge ~threads ~rounds:!rounds ~generations:!generations ~time_s workers
+    Stats.merge ~digest:!digest ~threads ~rounds:!rounds ~generations:!generations ~time_s
+      workers
   in
   let schedule = if record then Some (Schedule.Rounds (List.rev !round_records)) else None in
   (stats, schedule)

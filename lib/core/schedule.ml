@@ -34,3 +34,26 @@ let committed_tasks t = List.filter (fun r -> r.committed) (tasks t)
 let task_cost r = r.acquires + r.inspect_work + r.commit_work
 
 let total_work t = List.fold_left (fun acc r -> acc + task_cost r) 0 (committed_tasks t)
+
+(* Structural digest of a recorded schedule: folds round boundaries and
+   every task record's shape. Raw location ids are excluded (they come
+   from a process-global counter, so two runs of the same program would
+   disagree on them); the neighborhood sizes are already in [acquires].
+   Two recordings with equal digests have the same round structure,
+   costs and commit decisions. *)
+let digest t =
+  let fold_record d r =
+    let d = Trace_digest.fold_int d r.acquires in
+    let d = Trace_digest.fold_int d r.inspect_work in
+    let d = Trace_digest.fold_int d r.commit_work in
+    Trace_digest.fold_bool d r.committed
+  in
+  match t with
+  | Rounds l ->
+      List.fold_left
+        (fun d round ->
+          Array.fold_left fold_record (Trace_digest.fold_int d (Array.length round)) round)
+        (Trace_digest.fold_bool Trace_digest.seed true)
+        l
+  | Flat l ->
+      List.fold_left fold_record (Trace_digest.fold_bool Trace_digest.seed false) l

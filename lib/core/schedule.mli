@@ -28,3 +28,9 @@ val task_cost : task_record -> int
 
 val total_work : t -> int
 (** Sum of {!task_cost} over committed tasks. *)
+
+val digest : t -> Trace_digest.t
+(** Structural digest: round boundaries plus every record's costs and
+    commit decision (location ids excluded — they are process-local).
+    Lets two recordings be compared in O(1) after the fact; the live
+    {!Stats.t.digest} additionally covers committed task ids. *)

@@ -37,10 +37,16 @@ type t = {
   inspected : int;
   rounds : int;  (* deterministic scheduler rounds (0 for nondet/serial) *)
   generations : int;  (* sort generations of the deterministic scheduler *)
+  digest : Trace_digest.t;
+      (* Round-trace digest of the deterministic scheduler
+         ([Trace_digest.absent] for nondet/serial): an FNV-1a fold of
+         every round's window size, commit count and committed task ids.
+         Two deterministic runs took the same schedule iff their digests
+         agree — the O(1) comparison the determinism audit relies on. *)
   time_s : float;  (* wall-clock of the parallel section *)
 }
 
-let merge ~threads ~rounds ~generations ~time_s workers =
+let merge ?(digest = Trace_digest.absent) ~threads ~rounds ~generations ~time_s workers =
   let commits = ref 0
   and aborts = ref 0
   and acquired = ref 0
@@ -69,6 +75,7 @@ let merge ~threads ~rounds ~generations ~time_s workers =
     inspected = !inspected;
     rounds;
     generations;
+    digest;
     time_s;
   }
 
@@ -86,6 +93,7 @@ let add a b =
     inspected = a.inspected + b.inspected;
     rounds = a.rounds + b.rounds;
     generations = a.generations + b.generations;
+    digest = Trace_digest.combine a.digest b.digest;
     time_s = a.time_s +. b.time_s;
   }
 
@@ -101,6 +109,7 @@ let zero threads =
     inspected = 0;
     rounds = 0;
     generations = 0;
+    digest = Trace_digest.absent;
     time_s = 0.0;
   }
 
@@ -115,6 +124,6 @@ let atomics_per_us t = if t.time_s <= 0.0 then 0.0 else float_of_int t.atomics /
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>threads=%d commits=%d aborts=%d (ratio %.4f)@ acquires=%d atomics=%d work=%d created=%d@ \
-     inspections=%d rounds=%d generations=%d time=%.4fs@]"
+     inspections=%d rounds=%d generations=%d digest=%a time=%.4fs@]"
     t.threads t.commits t.aborts (abort_ratio t) t.acquired t.atomics t.work_units t.created
-    t.inspected t.rounds t.generations t.time_s
+    t.inspected t.rounds t.generations Trace_digest.pp t.digest t.time_s

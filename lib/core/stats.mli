@@ -29,15 +29,27 @@ type t = {
   inspected : int;
   rounds : int;
   generations : int;
+  digest : Trace_digest.t;
+      (** Round-trace digest of a deterministic execution
+          ({!Trace_digest.absent} for nondet/serial). Two deterministic
+          runs of the same program took the same schedule iff their
+          digests agree. *)
   time_s : float;
 }
 (** Aggregated result of one [for_each] execution. *)
 
 val merge :
-  threads:int -> rounds:int -> generations:int -> time_s:float -> worker array -> t
+  ?digest:Trace_digest.t ->
+  threads:int ->
+  rounds:int ->
+  generations:int ->
+  time_s:float ->
+  worker array ->
+  t
 
 val add : t -> t -> t
-(** Combine consecutive executions (counters sum, times add). *)
+(** Combine consecutive executions (counters sum, times add, digests
+    chain with {!Trace_digest.combine}). *)
 
 val zero : int -> t
 (** Neutral element of {!add} for a given thread count. *)

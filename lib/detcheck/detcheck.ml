@@ -1,0 +1,449 @@
+(* Determinism audit.
+
+   The paper's headline claim — DIG scheduling makes output a function of
+   the input alone, never of thread count or timing — is exactly the kind
+   of claim that silently rots as the runtime grows. This module exists
+   to falsify it cheaply and continuously:
+
+   - [check_invariance] sweeps a configuration lattice (thread counts ×
+     initial windows × locality spread × continuation × static ids) and
+     compares round-trace digests ([Stats.t.digest]) and output digests
+     across the sweep in O(1) per comparison;
+
+   - [Gen] generates random conflict topologies and random synthetic
+     operators (randomized acquire sets, failsafe placement, continuation
+     saves, task pushes) so the audit covers operator shapes no
+     hand-written app exercises;
+
+   - [seeds_distinguished] is the positive control: perturbing the case
+     seed must change the digests, proving the machinery can actually
+     signal divergence and is not vacuously green.
+
+   Two invariance strengths are distinguished, because they are
+   genuinely different claims:
+
+   - across thread counts at a fixed configuration, the *schedule itself*
+     is invariant: round-trace digest, output digest, everything;
+
+   - across configurations (window, spread, static ids), the schedule
+     legitimately differs but the *answer* must not: only the
+     case-defined canonical digest (final distances; the committed-task
+     multiset; the refinement postcondition) is compared. *)
+
+module D = Galois.Trace_digest
+module Splitmix = Parallel.Splitmix
+
+type run_result = {
+  sched_digest : D.t;  (* Stats.t.digest: absent for serial/nondet *)
+  output_digest : D.t;  (* order-sensitive digest of the final output *)
+  canonical_digest : D.t;  (* configuration-invariant digest of the answer *)
+  commits : int;
+}
+
+type case = {
+  name : string;
+  static_id_capable : bool;
+      (* true iff running the case with [Runtime.for_each ~static_id]
+         preserves its semantics (task keys are unique, so duplicate
+         collapsing is a no-op) *)
+  run :
+    policy:Galois.Policy.t ->
+    pool:Parallel.Domain_pool.t ->
+    static_id:bool ->
+    run_result;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The configuration lattice                                           *)
+(* ------------------------------------------------------------------ *)
+
+type config = { label : string; options : Galois.Policy.det_options; static_id : bool }
+
+let lattice ~static_id_capable =
+  let base = Galois.Policy.default_det in
+  let fixed =
+    [
+      { label = "default"; options = base; static_id = false };
+      { label = "window=8"; options = { base with initial_window = Some 8 }; static_id = false };
+      {
+        label = "window=256";
+        options = { base with initial_window = Some 256 };
+        static_id = false;
+      };
+      { label = "spread=1"; options = { base with spread = 1 }; static_id = false };
+      {
+        label = "no-continuation";
+        options = { base with continuation = false };
+        static_id = false;
+      };
+      { label = "validate"; options = { base with validate = true }; static_id = false };
+    ]
+  in
+  if static_id_capable then
+    fixed
+    @ [
+        { label = "static-id"; options = base; static_id = true };
+        {
+          label = "static-id+window=8";
+          options = { base with initial_window = Some 8 };
+          static_id = true;
+        };
+      ]
+  else fixed
+
+let default_threads = [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* The invariance checker                                              *)
+(* ------------------------------------------------------------------ *)
+
+type divergence = {
+  case_name : string;
+  config : string;
+  threads : int;
+  quantity : string;  (* "sched-digest" | "output-digest" | "canonical-digest" *)
+  expected : D.t;
+  got : D.t;
+}
+
+type report = { case_name : string; runs : int; divergences : divergence list }
+
+let ok r = r.divergences = []
+
+let pp_divergence ppf (d : divergence) =
+  Fmt.pf ppf "%s [%s, %d threads]: %s %a, expected %a" d.case_name d.config d.threads
+    d.quantity D.pp d.got D.pp d.expected
+
+let pp_report ppf r =
+  if ok r then Fmt.pf ppf "%s: invariant over %d runs" r.case_name r.runs
+  else
+    Fmt.pf ppf "@[<v>%s: %d divergence(s) in %d runs:@ %a@]" r.case_name
+      (List.length r.divergences) r.runs
+      (Fmt.list ~sep:Fmt.cut pp_divergence)
+      r.divergences
+
+let check_invariance ?(threads = default_threads) ?configs case =
+  let configs =
+    match configs with Some c -> c | None -> lattice ~static_id_capable:case.static_id_capable
+  in
+  let tmax = List.fold_left max 1 threads in
+  Parallel.Domain_pool.with_pool tmax (fun pool ->
+      let runs = ref 0 and divergences = ref [] in
+      let diverged ~config ~threads ~quantity ~expected ~got =
+        divergences :=
+          { case_name = case.name; config; threads; quantity; expected; got } :: !divergences
+      in
+      (* The canonical answer of the whole lattice is anchored at the
+         first configuration's single-thread run. *)
+      let canonical = ref None in
+      List.iter
+        (fun cfg ->
+          let run t =
+            incr runs;
+            case.run
+              ~policy:(Galois.Policy.det ~options:cfg.options t)
+              ~pool ~static_id:cfg.static_id
+          in
+          match List.map (fun t -> (t, run t)) threads with
+          | [] -> ()
+          | (_, reference) :: rest ->
+              (match !canonical with
+              | None -> canonical := Some reference.canonical_digest
+              | Some c ->
+                  if not (D.equal c reference.canonical_digest) then
+                    diverged ~config:cfg.label ~threads:(List.hd threads)
+                      ~quantity:"canonical-digest" ~expected:c
+                      ~got:reference.canonical_digest);
+              List.iter
+                (fun (t, r) ->
+                  let check quantity expected got =
+                    if not (D.equal expected got) then
+                      diverged ~config:cfg.label ~threads:t ~quantity ~expected ~got
+                  in
+                  check "sched-digest" reference.sched_digest r.sched_digest;
+                  check "output-digest" reference.output_digest r.output_digest;
+                  check "canonical-digest" reference.canonical_digest r.canonical_digest)
+                rest)
+        configs;
+      { case_name = case.name; runs = !runs; divergences = List.rev !divergences })
+
+(* Positive control: the audit must be able to see a difference. Two
+   cases drawn from different seeds must produce different canonical
+   digests under [policy]; if they ever agree, the digest pipeline has
+   collapsed (and every invariance "pass" above is meaningless). *)
+let seeds_distinguished ?(threads = 2) ~gen ~seed policy =
+  Parallel.Domain_pool.with_pool threads (fun pool ->
+      let digest s = ((gen s).run ~policy ~pool ~static_id:false).canonical_digest in
+      not (D.equal (digest seed) (digest (seed + 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based case generation                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Gen = struct
+  type topology =
+    | Ring  (* task k locks a contiguous run starting at k mod L *)
+    | Clusters  (* disjoint lock blocks plus an occasional global lock *)
+    | Bipartite  (* even tasks lock the low half, odd tasks the high half *)
+    | Subsets  (* independent random subsets *)
+    | Star  (* everyone contends on lock 0: worst-case window shrink *)
+
+  let topology_name = function
+    | Ring -> "ring"
+    | Clusters -> "clusters"
+    | Bipartite -> "bipartite"
+    | Subsets -> "subsets"
+    | Star -> "star"
+
+  type params = {
+    seed : int;
+    tasks : int;
+    locks : int;
+    topology : topology;
+    max_neigh : int;  (* acquire-set size bound (topology-dependent use) *)
+    push_prob : float;  (* chance a task creates children *)
+    max_children : int;
+    max_depth : int;  (* push generations: 0 = static task pool *)
+    pure_prob : float;  (* chance a task never reaches its failsafe *)
+    save_prob : float;  (* chance a task uses the continuation save *)
+    work_max : int;  (* abstract work units bound *)
+    unique_children : bool;  (* injective child keys: static_id-safe *)
+  }
+
+  let random_params ~seed =
+    let g = Splitmix.create ((seed * 2_654_435_761) + 97) in
+    let topology =
+      match Splitmix.int g 5 with
+      | 0 -> Ring
+      | 1 -> Clusters
+      | 2 -> Bipartite
+      | 3 -> Subsets
+      | _ -> Star
+    in
+    let tasks =
+      (* Star serializes into one commit per round; keep it small. *)
+      match topology with Star -> 8 + Splitmix.int g 32 | _ -> 20 + Splitmix.int g 120
+    in
+    {
+      seed;
+      tasks;
+      locks = 4 + Splitmix.int g 40;
+      topology;
+      max_neigh = 1 + Splitmix.int g 4;
+      push_prob = Splitmix.float g *. 0.6;
+      max_children = 1 + Splitmix.int g 2;
+      max_depth = Splitmix.int g 3;
+      pure_prob = Splitmix.float g *. 0.5;
+      save_prob = Splitmix.float g;
+      work_max = 1 + Splitmix.int g 8;
+      unique_children = Splitmix.bool g;
+    }
+
+  (* Per-item generator: every random choice a task makes is a function
+     of (case seed, item) only, so re-executions of the task — inspect,
+     retry after an abort, commit — replay identical decisions. *)
+  let item_rng p (depth, key) = Splitmix.create ((((p.seed * 1_000_003) + depth) * 1_000_003) + key)
+
+  let neighborhood p (depth, key) =
+    let g = item_rng p (depth, key) in
+    let l = p.locks in
+    match p.topology with
+    | Ring ->
+        let deg = 1 + Splitmix.int g p.max_neigh in
+        List.init deg (fun i -> (key + i) mod l)
+    | Clusters ->
+        let blocks = max 1 (l / 8) in
+        let block = key mod blocks in
+        let lo = block * (l / blocks) in
+        let width = max 1 (l / blocks) in
+        let deg = 1 + Splitmix.int g (min p.max_neigh width) in
+        let inside = List.init deg (fun _ -> lo + Splitmix.int g width) in
+        let hub = if Splitmix.float g < 0.2 then [ 0 ] else [] in
+        List.sort_uniq compare (hub @ inside)
+    | Bipartite ->
+        let half = max 1 (l / 2) in
+        let lo = if key mod 2 = 0 then 0 else half in
+        let width = if key mod 2 = 0 then half else l - half in
+        let deg = 1 + Splitmix.int g (min p.max_neigh (max 1 width)) in
+        List.sort_uniq compare (List.init deg (fun _ -> lo + Splitmix.int g (max 1 width)))
+    | Subsets ->
+        let deg = 1 + Splitmix.int g p.max_neigh in
+        List.sort_uniq compare (List.init deg (fun _ -> Splitmix.int g l))
+    | Star ->
+        if Splitmix.int g 4 = 0 && l > 1 then [ 0; 1 + Splitmix.int g (l - 1) ] else [ 0 ]
+
+  let children p (depth, key) =
+    if depth >= p.max_depth then []
+    else
+      let g = Splitmix.create ((((p.seed * 19_260_817) + depth) * 1_000_003) + key) in
+      if Splitmix.float g >= p.push_prob then []
+      else
+        let n = 1 + Splitmix.int g p.max_children in
+        List.init n (fun c ->
+            if p.unique_children then (depth + 1, (key * (p.max_children + 1)) + c + 1)
+            else (depth + 1, Splitmix.int g p.tasks))
+
+  let token (depth, key) = (depth * 1_000_003) + key
+
+  (* One splitmix64 step as a 64-bit mixer; canonical digests sum these
+     per cell, making the per-cell combination order-insensitive (the
+     committed-task multiset is lattice-invariant; the commit order is
+     only thread-invariant). *)
+  let mix i = Splitmix.next_int64 (Splitmix.create ((i * 2) + 1))
+
+  let key_of (depth, key) = (depth * 10_000_019) + key
+
+  let case_of_params p =
+    let name =
+      Printf.sprintf "gen(seed=%d,%s,tasks=%d,locks=%d,depth=%d)" p.seed
+        (topology_name p.topology) p.tasks p.locks p.max_depth
+    in
+    let run ~policy ~pool ~static_id =
+      let locks = Galois.Lock.create_array p.locks in
+      let cells = Array.init p.locks (fun _ -> ref []) in
+      let operator ctx item =
+        let g = item_rng p item in
+        let neigh = neighborhood p item in
+        List.iter (fun j -> Galois.Context.acquire ctx locks.(j)) neigh;
+        Galois.Context.work ctx (1 + Splitmix.int g p.work_max);
+        let pure = Splitmix.float g < p.pure_prob in
+        if pure then
+          (* Read-only task: no failsafe, no writes — but it may still
+             create work (exercises the scheduler's pure-task path). *)
+          List.iter (Galois.Context.push ctx) (children p item)
+        else begin
+          let value = token item * 31 in
+          if Splitmix.float g < p.save_prob then Galois.Context.save ctx value;
+          Galois.Context.failsafe ctx;
+          (* The continuation must be an optimization, not a semantic
+             switch: recomputation yields the same value. *)
+          let v = match Galois.Context.saved ctx with Some v -> v | None -> value in
+          List.iter (fun j -> cells.(j) := (token item + v) :: !(cells.(j))) neigh;
+          List.iter (Galois.Context.push ctx) (children p item)
+        end
+      in
+      let items = Array.init p.tasks (fun k -> (0, k)) in
+      let static_id = if static_id then Some key_of else None in
+      let report = Galois.Runtime.for_each ~policy ~pool ?static_id ~operator items in
+      let output_digest =
+        Array.fold_left
+          (fun d cell ->
+            List.fold_left D.fold_int (D.fold_int d (List.length !cell)) (List.rev !cell))
+          D.seed cells
+      in
+      let canonical_digest =
+        let d =
+          Array.fold_left
+            (fun d cell ->
+              D.fold_int64 d (List.fold_left (fun s x -> Int64.add s (mix x)) 0L !cell))
+            D.seed cells
+        in
+        D.fold_int d report.stats.commits
+      in
+      {
+        sched_digest = report.stats.digest;
+        output_digest;
+        canonical_digest;
+        commits = report.stats.commits;
+      }
+    in
+    { name; static_id_capable = p.unique_children; run }
+
+  let case ~seed = case_of_params (random_params ~seed)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Existing applications as auditable cases                            *)
+(* ------------------------------------------------------------------ *)
+
+module App_cases = struct
+  let digest_ints arr = Array.fold_left D.fold_int D.seed arr
+
+  (* BFS distances are the unique shortest hop counts: canonical across
+     the whole lattice. *)
+  let bfs ~n ~seed =
+    let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
+    let run ~policy ~pool ~static_id:_ =
+      let dist, report = Apps.Bfs.galois ~policy ~pool g ~source:0 in
+      let d = digest_ints dist in
+      {
+        sched_digest = report.stats.digest;
+        output_digest = d;
+        canonical_digest = d;
+        commits = report.stats.commits;
+      }
+    in
+    { name = Printf.sprintf "bfs(n=%d,seed=%d)" n seed; static_id_capable = false; run }
+
+  let sssp ~n ~seed =
+    let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
+    let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
+    let run ~policy ~pool ~static_id:_ =
+      let dist, report = Apps.Sssp.galois ~policy ~pool g w ~source:0 in
+      let d = digest_ints dist in
+      {
+        sched_digest = report.stats.digest;
+        output_digest = d;
+        canonical_digest = d;
+        commits = report.stats.commits;
+      }
+    in
+    { name = Printf.sprintf "sssp(n=%d,seed=%d)" n seed; static_id_capable = false; run }
+
+  (* The MSF weight and size are unique; the edge ids are not canonical
+     across configurations (the same undirected edge carries two directed
+     edge ids, and which one represents it depends on contraction order),
+     so only (weight, size) goes into the canonical digest. The full edge
+     list still must be thread-invariant at a fixed configuration. *)
+  let boruvka ~n ~seed =
+    let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n ~k:4 ()) in
+    let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
+    let run ~policy ~pool ~static_id:_ =
+      let forest, report = Apps.Boruvka.galois ~policy ~pool g w in
+      let fold_edges d edges = List.fold_left D.fold_int d edges in
+      let output_digest =
+        D.fold_int (fold_edges D.seed forest.Apps.Boruvka.parent_edge)
+          forest.Apps.Boruvka.total_weight
+      in
+      let canonical_digest =
+        D.fold_int
+          (D.fold_int D.seed (List.length forest.Apps.Boruvka.parent_edge))
+          forest.Apps.Boruvka.total_weight
+      in
+      {
+        sched_digest = report.stats.digest;
+        output_digest;
+        canonical_digest;
+        commits = report.stats.commits;
+      }
+    in
+    { name = Printf.sprintf "boruvka(n=%d,seed=%d)" n seed; static_id_capable = false; run }
+
+  (* Refinement's full output (the refined mesh) is schedule-dependent
+     across configurations — different insertion orders pick different
+     Steiner points — so only the postcondition is canonical. At a fixed
+     configuration the mesh itself must be thread-invariant, compared via
+     its canonical triangle list. *)
+  let dmr ~points ~seed =
+    let pts = Geometry.Point.random_unit_square ~seed points in
+    let run ~policy ~pool ~static_id:_ =
+      let mesh = Apps.Dt.serial pts in
+      let report = Apps.Dmr.galois ~policy ~pool mesh in
+      let output_digest =
+        List.fold_left
+          (fun d tri ->
+            List.fold_left (fun d (x, y) -> D.fold_float (D.fold_float d x) y) d tri)
+          D.seed (Apps.Dt.canonical mesh)
+      in
+      let consistent = Result.is_ok (Mesh.check_consistency mesh) in
+      let refined = Apps.Dmr.refined Apps.Dmr.default_config mesh in
+      let canonical_digest = D.fold_bool (D.fold_bool D.seed consistent) refined in
+      {
+        sched_digest = report.stats.digest;
+        output_digest;
+        canonical_digest;
+        commits = report.stats.commits;
+      }
+    in
+    { name = Printf.sprintf "dmr(points=%d,seed=%d)" points seed; static_id_capable = false; run }
+end

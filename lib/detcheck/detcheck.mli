@@ -1,0 +1,126 @@
+(** Determinism audit: falsify the paper's central claim on demand.
+
+    A {!case} is a runnable program whose results are summarized as three
+    digests. {!check_invariance} sweeps it over a configuration lattice
+    (thread counts × initial windows × locality spread × continuation ×
+    static ids), asserting:
+
+    - at a fixed configuration, the round-trace digest
+      ({!Galois.Stats.t.digest}) and the order-sensitive output digest
+      are identical across all thread counts — the paper's portability
+      claim, checked in O(1) per comparison;
+    - across configurations, the case's canonical digest (its notion of
+      "the answer") is identical — schedules may differ, answers may
+      not.
+
+    {!Gen} supplies property-based random cases (random conflict
+    topologies, random operator shapes); {!App_cases} adapts the real
+    benchmarks. {!seeds_distinguished} is the positive control proving
+    the digests can diverge at all. *)
+
+type run_result = {
+  sched_digest : Galois.Trace_digest.t;
+      (** {!Galois.Stats.t.digest} of the run; absent for serial/nondet *)
+  output_digest : Galois.Trace_digest.t;
+      (** order-sensitive digest of the final output; thread-invariant at
+          a fixed configuration *)
+  canonical_digest : Galois.Trace_digest.t;
+      (** digest of the configuration-invariant answer *)
+  commits : int;
+}
+
+type case = {
+  name : string;
+  static_id_capable : bool;
+      (** whether running under [~static_id] preserves the case's
+          semantics (task keys unique, duplicate collapsing a no-op) *)
+  run :
+    policy:Galois.Policy.t ->
+    pool:Parallel.Domain_pool.t ->
+    static_id:bool ->
+    run_result;
+}
+
+type config = { label : string; options : Galois.Policy.det_options; static_id : bool }
+
+val lattice : static_id_capable:bool -> config list
+(** The default configuration lattice: adaptive and pinned initial
+    windows, locality spread on/off, continuation on/off, mark
+    validation, and (when the case permits) static ids. *)
+
+val default_threads : int list
+(** [\[1; 2; 4; 8\]]. *)
+
+type divergence = {
+  case_name : string;
+  config : string;
+  threads : int;
+  quantity : string;
+  expected : Galois.Trace_digest.t;
+  got : Galois.Trace_digest.t;
+}
+
+type report = { case_name : string; runs : int; divergences : divergence list }
+
+val ok : report -> bool
+val pp_divergence : Format.formatter -> divergence -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val check_invariance : ?threads:int list -> ?configs:config list -> case -> report
+(** Run the case at every (configuration, thread count) lattice point —
+    one shared domain pool sized to the largest thread count — and
+    collect every digest divergence. An empty divergence list is the
+    audit passing. *)
+
+val seeds_distinguished :
+  ?threads:int -> gen:(int -> case) -> seed:int -> Galois.Policy.t -> bool
+(** Positive control: cases generated from [seed] and [seed + 1] must
+    have different canonical digests under the given policy. False means
+    the digest pipeline cannot signal divergence — every green audit is
+    then meaningless. *)
+
+(** Property-based random cases over {!Parallel.Splitmix}: random
+    conflict-lock topologies and random synthetic operators (randomized
+    acquire sets, failsafe placement, continuation saves, work reports
+    and task pushes). Everything is a function of the seed. *)
+module Gen : sig
+  type topology = Ring | Clusters | Bipartite | Subsets | Star
+
+  val topology_name : topology -> string
+
+  type params = {
+    seed : int;
+    tasks : int;
+    locks : int;
+    topology : topology;
+    max_neigh : int;
+    push_prob : float;
+    max_children : int;
+    max_depth : int;
+    pure_prob : float;
+    save_prob : float;
+    work_max : int;
+    unique_children : bool;
+  }
+
+  val random_params : seed:int -> params
+  val case_of_params : params -> case
+
+  val case : seed:int -> case
+  (** [case_of_params (random_params ~seed)]. *)
+end
+
+(** The paper's benchmarks as auditable cases. Inputs are generated once
+    at case construction; each [run] re-executes from a fresh state. *)
+module App_cases : sig
+  val bfs : n:int -> seed:int -> case
+  val sssp : n:int -> seed:int -> case
+  val boruvka : n:int -> seed:int -> case
+
+  val dmr : points:int -> seed:int -> case
+  (** Canonical digest is the refinement postcondition (mesh consistent
+      and fully refined): the refined mesh itself is legitimately
+      configuration-dependent, but must be thread-invariant at any fixed
+      configuration (its canonical triangle list is the output
+      digest). *)
+end

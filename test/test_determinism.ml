@@ -186,6 +186,61 @@ let prop_nondet_complete =
       let _, report = run_random_app ~policy:(Galois.Policy.nondet 3) ~n ~k ~neigh in
       report.stats.commits = n)
 
+(* §3.3 static-id fast path: duplicate pushes of one task id must
+   collapse to a single committed task. Six parents (disjoint locks, so
+   they commit in the same round) each push the same child key; with
+   [static_id] the child runs once, without it six times. Verified at 1
+   and 4 threads — collapsing happens in the sequential generation sort,
+   so it must not depend on which worker pushed first. *)
+let run_duplicate_push ~threads ~use_static_id =
+  let parents = 6 and child_key = 7 in
+  let locks = Galois.Lock.create_array 8 in
+  let cells = Array.init 8 (fun _ -> ref []) in
+  let operator ctx (kind, k) =
+    Galois.Context.acquire ctx locks.(k);
+    Galois.Context.failsafe ctx;
+    cells.(k) := ((kind * 100) + k) :: !(cells.(k));
+    if kind = 0 then Galois.Context.push ctx (1, child_key)
+  in
+  let static_id = if use_static_id then Some (fun (kind, k) -> (kind * 1000) + k) else None in
+  let report =
+    Galois.Runtime.for_each
+      ~policy:(Galois.Policy.det threads)
+      ?static_id ~operator
+      (Array.init parents (fun i -> (0, i)))
+  in
+  (report.stats.commits, List.length !(cells.(child_key)))
+
+let test_static_id_collapses_duplicate_pushes () =
+  List.iter
+    (fun threads ->
+      let commits, child_runs = run_duplicate_push ~threads ~use_static_id:true in
+      check_int (Printf.sprintf "child committed once at %d threads" threads) 1 child_runs;
+      check_int (Printf.sprintf "commits at %d threads" threads) 7 commits;
+      (* Contrast: without static ids, each push is a distinct task. *)
+      let commits', child_runs' = run_duplicate_push ~threads ~use_static_id:false in
+      check_int (Printf.sprintf "children without static ids at %d threads" threads) 6
+        child_runs';
+      check_int (Printf.sprintf "commits without static ids at %d threads" threads) 12 commits')
+    [ 1; 4 ]
+
+let test_static_id_collapses_duplicate_seeds () =
+  (* Duplicates already in the initial pool collapse the same way. *)
+  let locks = Galois.Lock.create_array 4 in
+  let hits = ref 0 in
+  let operator ctx k =
+    Galois.Context.acquire ctx locks.(k);
+    Galois.Context.failsafe ctx;
+    incr hits
+  in
+  let report =
+    Galois.Runtime.for_each
+      ~policy:(Galois.Policy.det 1)
+      ~static_id:Fun.id ~operator [| 3; 3; 3; 1 |]
+  in
+  check_int "distinct keys commit" 2 report.stats.commits;
+  check_int "operator ran once per key" 2 !hits
+
 let suite =
   [
     Alcotest.test_case "det output portable across threads" `Quick
@@ -196,6 +251,10 @@ let suite =
     Alcotest.test_case "MIS valid under all policies" `Quick test_mis_valid_all_policies;
     Alcotest.test_case "MIS portable under det" `Quick test_mis_det_portable;
     Alcotest.test_case "dynamic tasks portable under det" `Quick test_dynamic_det_portable;
+    Alcotest.test_case "static ids collapse duplicate pushes" `Quick
+      test_static_id_collapses_duplicate_pushes;
+    Alcotest.test_case "static ids collapse duplicate seeds" `Quick
+      test_static_id_collapses_duplicate_seeds;
     QCheck_alcotest.to_alcotest prop_det_portable;
     QCheck_alcotest.to_alcotest prop_nondet_complete;
   ]

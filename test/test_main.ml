@@ -6,7 +6,9 @@ let () =
       ("lock", Test_lock.suite);
       ("workset", Test_workset.suite);
       ("runtime", Test_runtime.suite);
+      ("stats", Test_stats.suite);
       ("determinism", Test_determinism.suite);
+      ("detcheck", Test_detcheck.suite);
       ("core-edge", Test_core_edge.suite);
       ("graph", Test_graph.suite);
       ("geometry", Test_geometry.suite);

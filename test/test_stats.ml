@@ -1,0 +1,121 @@
+(* Stats algebra edge cases: the zero element, heterogeneous merges,
+   abort-ratio corner cases, and the digest field's monoid behavior. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+module Stats = Galois.Stats
+module D = Galois.Trace_digest
+
+let test_zero_is_empty () =
+  let z = Stats.zero 3 in
+  check_int "threads" 3 z.threads;
+  check_int "commits" 0 z.commits;
+  check_int "aborts" 0 z.aborts;
+  check_int "acquired" 0 z.acquired;
+  check_int "atomics" 0 z.atomics;
+  check_int "work" 0 z.work_units;
+  check_int "created" 0 z.created;
+  check_int "inspected" 0 z.inspected;
+  check_int "rounds" 0 z.rounds;
+  check_int "generations" 0 z.generations;
+  check_bool "digest absent" true (D.is_absent z.digest);
+  check_float "time" 0.0 z.time_s
+
+let test_zero_commit_abort_ratio () =
+  (* No attempts at all: the ratio must be 0, not NaN. *)
+  check_float "no attempts" 0.0 (Stats.abort_ratio (Stats.zero 1));
+  (* Aborts but no commits (a run that never succeeded): ratio 1. *)
+  let only_aborts = { (Stats.zero 2) with aborts = 7 } in
+  check_float "all aborts" 1.0 (Stats.abort_ratio only_aborts);
+  (* Commits but no aborts. *)
+  let only_commits = { (Stats.zero 2) with commits = 9 } in
+  check_float "no aborts" 0.0 (Stats.abort_ratio only_commits)
+
+let test_zero_time_rates () =
+  let s = { (Stats.zero 1) with commits = 100; atomics = 50 } in
+  (* time_s = 0: rates must degrade to 0, not infinity. *)
+  check_float "commit rate" 0.0 (Stats.commits_per_us s);
+  check_float "atomics rate" 0.0 (Stats.atomics_per_us s)
+
+let test_zero_is_neutral_for_add () =
+  let worker = Stats.make_worker () in
+  worker.committed <- 5;
+  worker.aborted <- 2;
+  worker.work <- 11;
+  let s =
+    Stats.merge ~digest:(D.fold_int D.seed 42) ~threads:4 ~rounds:3 ~generations:1 ~time_s:0.5
+      [| worker |]
+  in
+  check_bool "right zero" true (Stats.add s (Stats.zero 4) = s);
+  check_bool "left zero" true (Stats.add (Stats.zero 4) s = s)
+
+let test_add_heterogeneous_threads () =
+  (* Combining a 1-thread epoch with a 4-thread epoch (preflow-push
+     style): counters sum, thread count is the max, times add. *)
+  let mk ~threads ~commits ~time_s =
+    let w = Stats.make_worker () in
+    w.committed <- commits;
+    Stats.merge ~threads ~rounds:1 ~generations:1 ~time_s [| w |]
+  in
+  let a = mk ~threads:1 ~commits:10 ~time_s:0.25 in
+  let b = mk ~threads:4 ~commits:30 ~time_s:0.5 in
+  let s = Stats.add a b in
+  check_int "threads is max" 4 s.threads;
+  check_int "commits sum" 40 s.commits;
+  check_int "rounds sum" 2 s.rounds;
+  check_float "times add" 0.75 s.time_s;
+  check_int "order-insensitive counters" 40 (Stats.add b a).commits
+
+let test_merge_sums_workers () =
+  let mk c a =
+    let w = Stats.make_worker () in
+    w.committed <- c;
+    w.aborted <- a;
+    w.acquires <- c + a;
+    w
+  in
+  let s =
+    Stats.merge ~threads:3 ~rounds:5 ~generations:2 ~time_s:1.0 [| mk 1 2; mk 3 4; mk 5 6 |]
+  in
+  check_int "commits" 9 s.commits;
+  check_int "aborts" 12 s.aborts;
+  check_int "acquires" 21 s.acquired;
+  check_int "threads as given" 3 s.threads;
+  check_bool "digest defaults to absent" true (D.is_absent s.digest)
+
+let test_digest_monoid () =
+  let d1 = D.fold_int D.seed 1 and d2 = D.fold_int D.seed 2 in
+  check_bool "absent neutral left" true (D.equal (D.combine D.absent d1) d1);
+  check_bool "absent neutral right" true (D.equal (D.combine d1 D.absent) d1);
+  check_bool "combine mixes" false (D.equal (D.combine d1 d2) d1);
+  check_bool "fold is order-sensitive" false
+    (D.equal (D.fold_int (D.fold_int D.seed 1) 2) (D.fold_int (D.fold_int D.seed 2) 1));
+  check_bool "seed not absent" false (D.is_absent D.seed);
+  Alcotest.(check string) "hex format" "cbf29ce484222325" (D.to_hex D.seed)
+
+let test_add_chains_digests () =
+  let mk d =
+    Stats.merge ~digest:d ~threads:1 ~rounds:1 ~generations:1 ~time_s:0.0
+      [| Stats.make_worker () |]
+  in
+  let a = mk (D.fold_int D.seed 7) and b = mk (D.fold_int D.seed 8) in
+  let s = Stats.add a b in
+  check_bool "chained digest" true (D.equal s.digest (D.combine a.digest b.digest));
+  check_bool "not absent" false (D.is_absent s.digest);
+  (* Adding a digest-less run (serial epoch between det epochs) keeps the
+     digest. *)
+  check_bool "absent passthrough" true (D.equal (Stats.add a (Stats.zero 1)).digest a.digest)
+
+let suite =
+  [
+    Alcotest.test_case "zero is the empty report" `Quick test_zero_is_empty;
+    Alcotest.test_case "abort ratio without commits" `Quick test_zero_commit_abort_ratio;
+    Alcotest.test_case "rates at zero time" `Quick test_zero_time_rates;
+    Alcotest.test_case "zero neutral for add" `Quick test_zero_is_neutral_for_add;
+    Alcotest.test_case "add across thread counts" `Quick test_add_heterogeneous_threads;
+    Alcotest.test_case "merge sums worker counters" `Quick test_merge_sums_workers;
+    Alcotest.test_case "trace digest monoid" `Quick test_digest_monoid;
+    Alcotest.test_case "add chains digests" `Quick test_add_chains_digests;
+  ]
