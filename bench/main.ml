@@ -46,6 +46,7 @@ let figure_tests =
          "fig11";
          "fig12";
          "summary";
+         "obs-phases";
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -70,7 +71,7 @@ let bench_try_claim =
            Galois.Lock.release l 1
          done))
 
-let bucket_app policy () =
+let bucket_app ?sink policy () =
   let k = 32 and n = 512 in
   let locks = Galois.Lock.create_array k in
   let cells = Array.make k 0 in
@@ -80,9 +81,36 @@ let bucket_app policy () =
     Galois.Context.failsafe ctx;
     cells.(j) <- cells.(j) + 1
   in
-  ignore (Galois.Runtime.for_each ~policy ~operator (Array.init n Fun.id))
+  ignore
+    (Galois.Run.make ~operator (Array.init n Fun.id)
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec)
 
 let bench_scheduler name policy = Test.make ~name (Staged.stage (bucket_app policy))
+
+(* Tracing overhead: the same deterministic run with the event stream
+   captured in a ring, versus the null sink measured above. *)
+let bench_obs_traced =
+  Test.make ~name:"obs.det2+memory_sink"
+    (Staged.stage (fun () ->
+         let mem = Obs.Memory.create () in
+         bucket_app ~sink:(Obs.Memory.sink mem) (Galois.Policy.det 2) ()))
+
+let bench_obs_jsonl =
+  let line =
+    {
+      Obs.at_s = 0.5;
+      event = Obs.Execute_done { round = 3; work = 128; pushes = 17 };
+    }
+  in
+  Test.make ~name:"obs.jsonl_encode+decode"
+    (Staged.stage (fun () ->
+         for _ = 1 to 64 do
+           match Obs.Jsonl.of_line (Obs.Jsonl.to_line line) with
+           | Ok _ -> ()
+           | Error _ -> assert false
+         done))
 
 let bench_detreserve =
   Test.make ~name:"detreserve.speculative_for"
@@ -126,6 +154,8 @@ let micro_tests =
       bench_scheduler "runtime.serial" Galois.Policy.serial;
       bench_scheduler "runtime.nondet2" (Galois.Policy.nondet 2);
       bench_scheduler "runtime.det2" (Galois.Policy.det 2);
+      bench_obs_traced;
+      bench_obs_jsonl;
       bench_detreserve;
       bench_cachesim;
       bench_makespan;

@@ -116,9 +116,12 @@ let cmd =
       `S Manpage.s_description;
       `P
         "Sweeps every case over a configuration lattice (thread counts x initial windows x \
-         locality spread x continuation x static ids) and compares round-trace digests and \
-         output digests across the sweep. Any divergence falsifies the paper's claim that \
-         deterministic output is a function of the input alone.";
+         locality spread x continuation x static ids) and compares round-trace digests, \
+         output digests and the deterministic observability event stream (timing events \
+         stripped, byte for byte) across the sweep. Any divergence falsifies the paper's \
+         claim that deterministic output is a function of the input alone. Lattice \
+         configurations correspond to policy strings like det:T[window=8,spread=1] \
+         (see galois-run --policy).";
       `S Manpage.s_examples;
       `P "detcheck --cases 25 --seed 2014";
       `P "detcheck --apps dmr --cases 0 --threads 1,3,5 -v";

@@ -2,31 +2,44 @@
 
      galois-figures                 # everything, small scale
      galois-figures fig7-m4x10      # one figure
-     galois-figures --scale tiny    # quick smoke run *)
+     galois-figures --scale tiny    # quick smoke run
+     galois-figures --phase-breakdown run.jsonl
+                                    # summarize a `galois_run --trace` file *)
 
 open Cmdliner
 
-let run figure scale_name =
-  match Figures.Scale.by_name scale_name with
-  | None -> `Error (false, Printf.sprintf "unknown scale %S (tiny | small | paper)" scale_name)
-  | Some scale -> (
-      Fmt.pr "Collecting dataset at scale %s (this runs every benchmark variant)...@."
-        scale.Figures.Scale.name;
-      let data = Figures.Dataset.collect scale in
-      let t = Figures.timings data in
-      match figure with
-      | None ->
-          Figures.print_all t;
-          `Ok ()
-      | Some name -> (
-          match Figures.print_figure t name with
-          | Ok () -> `Ok ()
-          | Error e -> `Error (false, e)))
+let run figure scale_name breakdown =
+  match breakdown with
+  | Some path -> (
+      (* Trace post-processing needs no dataset collection: read the
+         JSONL stream and render the phase-breakdown table. *)
+      match Obs.Jsonl.load path with
+      | Error e -> `Error (false, e)
+      | Ok events ->
+          Fmt.pr "@.== phase breakdown: %s (%d events) ==@." path (List.length events);
+          Analysis.Table.pp Fmt.stdout (Figures.phase_breakdown events);
+          `Ok ())
+  | None -> (
+      match Figures.Scale.by_name scale_name with
+      | None -> `Error (false, Printf.sprintf "unknown scale %S (tiny | small | paper)" scale_name)
+      | Some scale -> (
+          Fmt.pr "Collecting dataset at scale %s (this runs every benchmark variant)...@."
+            scale.Figures.Scale.name;
+          let data = Figures.Dataset.collect scale in
+          let t = Figures.timings data in
+          match figure with
+          | None ->
+              Figures.print_all t;
+              `Ok ()
+          | Some name -> (
+              match Figures.print_figure t name with
+              | Ok () -> `Ok ()
+              | Error e -> `Error (false, e))))
 
 let figure_arg =
   let doc =
     "Figure to regenerate (fig4, fig5, fig6, fig7-m4x10, fig7-m4x6, fig7-numa8x4, fig8, fig9, \
-     fig10, fig11, fig12, summary). Omit to print all."
+     fig10, fig11, fig12, summary, ablation, obs-phases). Omit to print all."
   in
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
 
@@ -34,10 +47,17 @@ let scale_arg =
   let doc = "Input scale: tiny | small | paper." in
   Arg.(value & opt string "small" & info [ "scale" ] ~docv:"SCALE" ~doc)
 
+let breakdown_arg =
+  let doc =
+    "Render the phase-breakdown table from a JSONL trace file (written by \
+     galois-run --trace) instead of collecting a dataset."
+  in
+  Arg.(value & opt (some string) None & info [ "phase-breakdown" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "regenerate the evaluation tables/figures of the Deterministic Galois paper" in
   Cmd.v
     (Cmd.info "galois-figures" ~version:"1.0.0" ~doc)
-    Term.(ret (const run $ figure_arg $ scale_arg))
+    Term.(ret (const run $ figure_arg $ scale_arg $ breakdown_arg))
 
 let () = exit (Cmd.eval cmd)

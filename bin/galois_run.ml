@@ -1,9 +1,10 @@
 (* The command-line driver: run any benchmark under any execution
    policy. This is the paper's on-demand determinism in practice — the
-   application code is fixed; [--policy serial|nondet:T|det:T] picks the
-   scheduler at run time. *)
+   application code is fixed; [--policy serial|nondet:T|det:T[k=v,...]]
+   picks the scheduler at run time, and [--trace FILE] streams the
+   runtime's observability events (lib/obs) to a JSONL file. *)
 
-let run_app ~app ~policy ~size ~seed ~verbose =
+let run_app ~app ~policy ~size ~seed ~verbose ~sink =
   let pp_stats name (stats : Galois.Stats.t) =
     Fmt.pr "%s (%a):@." name Galois.Policy.pp policy;
     Fmt.pr "  %a@." Galois.Stats.pp stats
@@ -11,7 +12,7 @@ let run_app ~app ~policy ~size ~seed ~verbose =
   match app with
   | "bfs" ->
       let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
-      let dist, report = Apps.Bfs.galois ~policy g ~source:0 in
+      let dist, report = Apps.Bfs.galois ?sink ~policy g ~source:0 in
       pp_stats "bfs" report.stats;
       let reached = Array.fold_left (fun a d -> if d <> Apps.Bfs.unreached then a + 1 else a) 0 dist in
       Fmt.pr "  reached %d of %d nodes; valid=%b@." reached size
@@ -23,14 +24,14 @@ let run_app ~app ~policy ~size ~seed ~verbose =
       `Ok ()
   | "mis" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:5 ()) in
-      let in_mis, report = Apps.Mis.galois ~policy g in
+      let in_mis, report = Apps.Mis.galois ?sink ~policy g in
       pp_stats "mis" report.stats;
       let members = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_mis in
       Fmt.pr "  |MIS| = %d; valid=%b@." members (Apps.Mis.is_maximal_independent g in_mis);
       `Ok ()
   | "dt" ->
       let pts = Geometry.Point.random_unit_square ~seed size in
-      let mesh, report = Apps.Dt.galois ~policy pts in
+      let mesh, report = Apps.Dt.galois ?sink ~policy pts in
       pp_stats "dt" report.stats;
       Fmt.pr "  triangles=%d, delaunay violations=%d@." (Mesh.triangle_count mesh)
         (Mesh.delaunay_violations mesh);
@@ -39,15 +40,15 @@ let run_app ~app ~policy ~size ~seed ~verbose =
       let pts = Geometry.Point.random_unit_square ~seed size in
       let mesh = Apps.Dt.serial pts in
       let before = Mesh.triangle_count mesh in
-      let report = Apps.Dmr.galois ~policy mesh in
+      let report = Apps.Dmr.galois ?sink ~policy mesh in
       pp_stats "dmr" report.stats;
       Fmt.pr "  triangles %d -> %d; refined=%b@." before (Mesh.triangle_count mesh)
         (Apps.Dmr.refined Apps.Dmr.default_config mesh);
       `Ok ()
   | "pfp" ->
-      let g, caps, source, sink = Graphlib.Generators.flow_network ~seed ~n:size ~k:4 () in
-      let net = Apps.Flow_network.of_graph g caps ~source ~sink in
-      let result = Apps.Pfp.galois ~policy net in
+      let g, caps, source, sink_node = Graphlib.Generators.flow_network ~seed ~n:size ~k:4 () in
+      let net = Apps.Flow_network.of_graph g caps ~source ~sink:sink_node in
+      let result = Apps.Pfp.galois ?sink ~policy net in
       pp_stats "pfp" result.stats;
       let ok, _ = Apps.Flow_network.check_flow net in
       Fmt.pr "  max flow=%d; epochs=%d; global relabels=%d; conservation=%b@."
@@ -55,7 +56,7 @@ let run_app ~app ~policy ~size ~seed ~verbose =
       `Ok ()
   | "cc" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:5 ()) in
-      let label, report = Apps.Cc.galois ~policy g in
+      let label, report = Apps.Cc.galois ?sink ~policy g in
       pp_stats "cc" report.stats;
       Fmt.pr "  %d components; valid=%b@." (Apps.Cc.count_components label)
         (Apps.Cc.validate g label);
@@ -63,7 +64,7 @@ let run_app ~app ~policy ~size ~seed ~verbose =
   | "sssp" ->
       let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
       let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
-      let dist, report = Apps.Sssp.galois ~policy g w ~source:0 in
+      let dist, report = Apps.Sssp.galois ?sink ~policy g w ~source:0 in
       pp_stats "sssp" report.stats;
       let reached =
         Array.fold_left (fun a d -> if d <> Apps.Sssp.unreached then a + 1 else a) 0 dist
@@ -73,7 +74,7 @@ let run_app ~app ~policy ~size ~seed ~verbose =
   | "mst" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:4 ()) in
       let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
-      let forest, report = Apps.Boruvka.galois ~policy g w in
+      let forest, report = Apps.Boruvka.galois ?sink ~policy g w in
       pp_stats "mst (boruvka)" report.stats;
       Fmt.pr "  forest: %d edges, total weight %d; valid=%b@."
         (List.length forest.Apps.Boruvka.parent_edge) forest.Apps.Boruvka.total_weight
@@ -81,13 +82,13 @@ let run_app ~app ~policy ~size ~seed ~verbose =
       `Ok ()
   | "triangles" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.rmat ~seed ~scale:11 ~edge_factor:8 ()) in
-      let total, report = Apps.Triangles.galois ~policy g in
+      let total, report = Apps.Triangles.galois ?sink ~policy g in
       pp_stats "triangles" report.stats;
       Fmt.pr "  %d triangles@." total;
       `Ok ()
   | "pagerank" ->
       let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
-      let ranks, report = Apps.Pagerank.galois ~policy g in
+      let ranks, report = Apps.Pagerank.galois ?sink ~policy g in
       pp_stats "pagerank" report.stats;
       let reference = Apps.Pagerank.serial g in
       Fmt.pr "  max deviation from power iteration: %.5f@."
@@ -107,7 +108,12 @@ let policy_arg =
   let policy_conv = Arg.conv (parse, print) in
   let doc =
     "Execution policy: $(b,serial), $(b,nondet:T) (speculative, T threads) or $(b,det:T) \
-     (deterministic DIG scheduling). The program's code is identical under every policy."
+     (deterministic DIG scheduling). The program's code is identical under every policy. \
+     det accepts a bracketed option block, \
+     $(b,det:8[window=64,spread=1,ratio=0.95,cont=off,validate=on]): window=N|auto pins or \
+     derives the first round's window, spread=N sets the locality-spread piles (1 disables), \
+     ratio=R sets the adaptive commit-ratio target, cont/validate toggle the continuation \
+     optimization and commit-time mark validation."
   in
   Arg.(value & opt policy_conv Galois.Policy.serial & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
 
@@ -123,6 +129,14 @@ let verbose_arg =
   let doc = "Print sample output values." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write the runtime's observability event stream (round/phase events, per-worker \
+     counters, timings) to $(docv), one JSON object per line. For $(b,det) policies the \
+     stream minus its timing events is identical for any thread count."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run Deterministic Galois benchmarks under a chosen execution policy" in
   let man =
@@ -136,13 +150,24 @@ let cmd =
       `S Manpage.s_examples;
       `P "galois-run dmr -n 2000 --policy det:4";
       `P "galois-run bfs -n 100000 --policy nondet:8";
+      `P "galois-run mst -n 50000 --policy 'det:4[window=64,spread=1]'";
+      `P "galois-run bfs -n 20000 --policy det:4 --trace bfs.trace.jsonl";
     ]
+  in
+  let run_traced app policy size seed verbose trace =
+    match trace with
+    | None -> run_app ~app ~policy ~size ~seed ~verbose ~sink:None
+    | Some path ->
+        let sink = Obs.Jsonl.file path in
+        Fun.protect
+          ~finally:(fun () -> Obs.close sink)
+          (fun () -> run_app ~app ~policy ~size ~seed ~verbose ~sink:(Some sink))
   in
   let term =
     Term.(
       ret
-        (const (fun app policy size seed verbose -> run_app ~app ~policy ~size ~seed ~verbose)
-        $ app_arg $ policy_arg $ size_arg $ seed_arg $ verbose_arg))
+        (const run_traced $ app_arg $ policy_arg $ size_arg $ seed_arg $ verbose_arg
+       $ trace_arg))
   in
   Cmd.v (Cmd.info "galois-run" ~version:"1.0.0" ~doc ~man) term
 

@@ -31,7 +31,9 @@ let () =
     Array.fill hub_balance 0 hubs 0;
     Array.iteri (fun i _ -> balance.(i) <- 10 + (i mod 7)) balance;
     let report =
-      Galois.Runtime.for_each ~policy ~operator (Array.init accounts (fun i -> i))
+      Galois.Run.make ~operator (Array.init accounts (fun i -> i))
+      |> Galois.Run.policy policy
+      |> Galois.Run.exec
     in
     Fmt.pr "%a: commits=%d aborts=%d rounds=%d total=%d@." Galois.Policy.pp policy
       report.stats.commits report.stats.aborts report.stats.rounds

@@ -28,7 +28,9 @@ let run ~policy ~seed_order =
     if log.(slot) < 0 then log.(slot) <- task
   in
   let tasks = Array.init n (fun i -> (i * seed_order) mod n) in
-  let _ = Galois.Runtime.for_each ~policy ~operator tasks in
+  let _ =
+    Galois.Run.make ~operator tasks |> Galois.Run.policy policy |> Galois.Run.exec
+  in
   Array.to_list log
 
 let fingerprint l = Hashtbl.hash l

@@ -14,7 +14,7 @@ module Csr = Graphlib.Csr
 
 let unreached = max_int
 
-let galois ?record ~policy ?pool g ~source =
+let galois ?record ?sink ~policy ?pool g ~source =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let dist = Array.make n unreached in
@@ -29,7 +29,14 @@ let galois ?record ~policy ?pool g ~source =
       Csr.iter_succ g u (fun v -> if dist.(v) > d + 1 then Galois.Context.push ctx (v, d + 1))
     end
   in
-  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator [| (source, 0) |] in
+  let report =
+    Galois.Run.make ~operator [| (source, 0) |]
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
+  in
   (dist, report)
 
 let serial g ~source =

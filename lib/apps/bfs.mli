@@ -5,6 +5,7 @@ val unreached : int
 
 val galois :
   ?record:bool ->
+  ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Parallel.Domain_pool.t ->
   Graphlib.Csr.t ->

@@ -36,7 +36,7 @@ let lightest_out g weights members uf root =
     members.(root);
   !best
 
-let galois ?record ~policy ?pool g weights =
+let galois ?record ?sink ~policy ?pool g weights =
   if Array.length weights <> Csr.edges g then
     invalid_arg "Boruvka.galois: weight array size mismatch";
   let n = Csr.nodes g in
@@ -78,7 +78,14 @@ let galois ?record ~policy ?pool g weights =
             Galois.Context.push ctx new_root
           end
   in
-  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator (Array.init n Fun.id) in
+  let report =
+    Galois.Run.make ~operator (Array.init n Fun.id)
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
+  in
   let parent_edge = ref [] and total = ref 0 in
   Array.iteri
     (fun e picked ->

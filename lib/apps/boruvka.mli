@@ -8,6 +8,7 @@ type forest = { parent_edge : int list; total_weight : int }
 
 val galois :
   ?record:bool ->
+  ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Parallel.Domain_pool.t ->
   Graphlib.Csr.t ->

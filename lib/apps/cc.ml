@@ -8,7 +8,7 @@
 
 module Csr = Graphlib.Csr
 
-let galois ?record ~policy ?pool g =
+let galois ?record ?sink ~policy ?pool g =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let label = Array.init n Fun.id in
@@ -30,7 +30,14 @@ let galois ?record ~policy ?pool g =
           end)
     end
   in
-  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator (Array.init n Fun.id) in
+  let report =
+    Galois.Run.make ~operator (Array.init n Fun.id)
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
+  in
   (label, report)
 
 let serial g =

@@ -3,6 +3,7 @@
 
 val galois :
   ?record:bool ->
+  ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Parallel.Domain_pool.t ->
   Graphlib.Csr.t ->

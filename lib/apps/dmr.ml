@@ -108,12 +108,14 @@ let operator cfg mesh ctx tri =
             Galois.Context.save ctx plan;
             refine_with cfg mesh ctx tri plan)
 
-let galois ?(config = default_config) ?record ~policy ?pool mesh =
+let galois ?(config = default_config) ?record ?sink ~policy ?pool mesh =
   let bad = Array.of_list (bad_triangles config mesh) in
-  let report =
-    Galois.Runtime.for_each ?record ~policy ?pool ~operator:(operator config mesh) bad
-  in
-  report
+  Galois.Run.make ~operator:(operator config mesh) bad
+  |> Galois.Run.policy policy
+  |> Galois.Run.opt Galois.Run.pool pool
+  |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+  |> Galois.Run.opt Galois.Run.sink sink
+  |> Galois.Run.exec
 
 let serial ?(config = default_config) mesh = galois ~config ~policy:Galois.Policy.serial mesh
 

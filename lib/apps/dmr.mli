@@ -22,6 +22,7 @@ val plan_cavity :
 val galois :
   ?config:config ->
   ?record:bool ->
+  ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Parallel.Domain_pool.t ->
   Mesh.t ->

@@ -92,10 +92,15 @@ let operator st ctx pid =
           Galois.Context.save ctx cavity;
           insert_with_cavity st ctx pid cavity)
 
-let galois ?record ~policy ?pool points =
+let galois ?record ?sink ~policy ?pool points =
   let st, fakes = prepare points in
   let report =
-    Galois.Runtime.for_each ?record ~policy ?pool ~operator:(operator st) (Array.init st.n Fun.id)
+    Galois.Run.make ~operator:(operator st) (Array.init st.n Fun.id)
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
   in
   Mesh.strip_vertices st.mesh fakes;
   (st.mesh, report)

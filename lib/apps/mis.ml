@@ -11,7 +11,7 @@
 
 module Csr = Graphlib.Csr
 
-let galois ?record ~policy ?pool g =
+let galois ?record ?sink ~policy ?pool g =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let in_mis = Array.make n false in
@@ -22,7 +22,14 @@ let galois ?record ~policy ?pool g =
     Galois.Context.failsafe ctx;
     if not (Csr.exists_succ g u (fun v -> in_mis.(v))) then in_mis.(u) <- true
   in
-  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator (Array.init n Fun.id) in
+  let report =
+    Galois.Run.make ~operator (Array.init n Fun.id)
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
+  in
   (in_mis, report)
 
 let serial g =

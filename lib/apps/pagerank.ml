@@ -20,7 +20,7 @@ type config = { damping : int; tolerance : int }
 (* damping 0.85, tolerance 1e-3 in fixed point *)
 let default_config = { damping = 85 * one / 100; tolerance = one / 1000 }
 
-let galois ?(config = default_config) ?record ~policy ?pool g =
+let galois ?(config = default_config) ?record ?sink ~policy ?pool g =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let rank = Array.make n 0 in
@@ -49,7 +49,14 @@ let galois ?(config = default_config) ?record ~policy ?pool g =
       end
     end
   in
-  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator (Array.init n Fun.id) in
+  let report =
+    Galois.Run.make ~operator (Array.init n Fun.id)
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
+  in
   (Array.map (fun r -> float_of_int r /. float_of_int one) rank, report)
 
 (* Synchronous power iteration in floats: the reference answer. *)

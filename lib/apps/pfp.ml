@@ -76,7 +76,7 @@ let saturate_source net excess ~activated =
     end
   done
 
-let galois ?(record = false) ~policy ?pool net =
+let galois ?(record = false) ?sink ~policy ?pool net =
   let n = Flow_network.nodes net in
   let locks = Galois.Lock.create_array n in
   let height = Array.make n 0 and excess = Array.make n 0 in
@@ -127,8 +127,16 @@ let galois ?(record = false) ~policy ?pool net =
         incr global_relabels;
         pending_relabels := 0
       end;
+      (* One Run per epoch; a caller-supplied sink spans all epochs
+         (Run never closes it), bracketing each with Run_begin/Run_end. *)
       let report =
-        Galois.Runtime.for_each ~record ~policy ?pool ~static_id:Fun.id ~operator active
+        Galois.Run.make ~operator active
+        |> Galois.Run.policy policy
+        |> Galois.Run.opt Galois.Run.pool pool
+        |> (if record then Galois.Run.record else Fun.id)
+        |> Galois.Run.static_id Fun.id
+        |> Galois.Run.opt Galois.Run.sink sink
+        |> Galois.Run.exec
       in
       (match report.schedule with
       | Some (Galois.Schedule.Flat l) -> flat_records := l :: !flat_records

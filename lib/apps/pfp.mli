@@ -16,6 +16,7 @@ val saturate_source : Flow_network.t -> int array -> activated:(int -> unit) -> 
 
 val galois :
   ?record:bool ->
+  ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Parallel.Domain_pool.t ->
   Flow_network.t ->

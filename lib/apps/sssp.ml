@@ -7,7 +7,7 @@ module Csr = Graphlib.Csr
 
 let unreached = max_int
 
-let galois ?record ~policy ?pool g weights ~source =
+let galois ?record ?sink ~policy ?pool g weights ~source =
   if Array.length weights <> Csr.edges g then
     invalid_arg "Sssp.galois: weight array size mismatch";
   let n = Csr.nodes g in
@@ -26,7 +26,14 @@ let galois ?record ~policy ?pool g weights ~source =
           if dist.(v) > nd then Galois.Context.push ctx (v, nd))
     end
   in
-  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator [| (source, 0) |] in
+  let report =
+    Galois.Run.make ~operator [| (source, 0) |]
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
+  in
   (dist, report)
 
 (* Dijkstra with a simple pairing of (dist, node) in a sorted module-less

@@ -18,7 +18,7 @@ let count_at g u =
         Csr.iter_succ g v (fun w -> if w > v && Csr.exists_succ g u (fun x -> x = w) then incr count));
   !count
 
-let galois ?record ~policy ?pool g =
+let galois ?record ?sink ~policy ?pool g =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let per_node = Array.make n 0 in
@@ -34,7 +34,14 @@ let galois ?record ~policy ?pool g =
     Galois.Context.failsafe ctx;
     per_node.(u) <- c
   in
-  let report = Galois.Runtime.for_each ?record ~policy ?pool ~operator (Array.init n Fun.id) in
+  let report =
+    Galois.Run.make ~operator (Array.init n Fun.id)
+    |> Galois.Run.policy policy
+    |> Galois.Run.opt Galois.Run.pool pool
+    |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> Galois.Run.opt Galois.Run.sink sink
+    |> Galois.Run.exec
+  in
   (Array.fold_left ( + ) 0 per_node, report)
 
 let serial g =

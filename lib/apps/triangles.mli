@@ -7,6 +7,7 @@ val count_at : Graphlib.Csr.t -> int -> int
 
 val galois :
   ?record:bool ->
+  ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Parallel.Domain_pool.t ->
   Graphlib.Csr.t ->

@@ -137,8 +137,17 @@ let par_iter pool ~threads n f =
           done
       done)
 
-let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
+let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id ~operator
+    items =
   let { Policy.target_ratio; initial_window; spread; continuation; validate } = options in
+  (* All events are emitted from the sequential glue between parallel
+     phases, so sinks never see concurrent calls. Every event field
+     except the [Phase_time]/[Worker_counters] ones is deterministic —
+     detcheck compares the rendered deterministic stream byte-for-byte
+     across thread counts. *)
+  let tracing = sink != Obs.null in
+  let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
+  let inspect_s = ref 0.0 and select_s = ref 0.0 in
   (* The policy's thread count rules; extra pool workers stay idle. *)
   let threads =
     match threads with
@@ -183,6 +192,10 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
     let generation = form_generation ~static_id ~spread ~next_id !todo in
     todo := [];
     digest := Trace_digest.fold_int !digest (Array.length generation);
+    if tracing then
+      emit
+        (Obs.Generation_begin
+           { generation = !generations; tasks = Array.length generation });
     let next = ref (Array.to_list generation) in
     let next_len = ref (Array.length generation) in
     if !window = 0 then
@@ -211,7 +224,9 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
           t.commit_work <- 0;
           Hashtbl.add defeat_map t.id t)
         cur;
+      if tracing then emit (Obs.Round_begin { round = !rounds; window = w_use });
       (* --- inspect ------------------------------------------------- *)
+      let t_inspect = Unix.gettimeofday () in
       par_iter pool ~threads w_use (fun w i ->
           let ctx = contexts.(w) in
           let t = cur.(i) in
@@ -230,7 +245,23 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
           t.acquires <- Context.neighborhood_count ctx;
           t.task_work <- Context.work_units ctx;
           if continuation then t.saved <- Context.saved ctx);
+      let dt_inspect = Unix.gettimeofday () -. t_inspect in
+      inspect_s := !inspect_s +. dt_inspect;
+      if tracing then begin
+        let marked = ref 0 and saved = ref 0 in
+        Array.iter
+          (fun t ->
+            marked := !marked + t.acquires;
+            if Option.is_some t.saved then incr saved)
+          cur;
+        emit
+          (Obs.Inspect_done
+             { round = !rounds; marked = !marked; saved_continuations = !saved });
+        emit
+          (Obs.Phase_time { round = !rounds; phase = Obs.Inspect; dt_s = dt_inspect })
+      end;
       (* --- selectAndExec -------------------------------------------- *)
+      let t_select = Unix.gettimeofday () in
       let committed = Array.make w_use false in
       par_iter pool ~threads w_use (fun w i ->
           let stats = workers.(w) in
@@ -266,6 +297,8 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
              locations for the next round. *)
           Array.iter (fun l -> Lock.release l t.id) t.neighborhood;
           stats.atomic_updates <- stats.atomic_updates + Array.length t.neighborhood);
+      let dt_select = Unix.gettimeofday () -. t_select in
+      select_s := !select_s +. dt_select;
       (* --- sequential glue between rounds --------------------------- *)
       let n_committed = ref 0 in
       let failed = ref [] in
@@ -277,10 +310,28 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
         (fun i t -> if committed.(i) then digest := Trace_digest.fold_int !digest t.id)
         cur;
       digest := Trace_digest.fold_int !digest !n_committed;
+      let round_pushes = ref 0 in
       for w = 0 to threads - 1 do
+        round_pushes := !round_pushes + List.length child_buffers.(w);
         todo := List.rev_append child_buffers.(w) !todo;
         child_buffers.(w) <- []
       done;
+      if tracing then begin
+        emit
+          (Obs.Select_done
+             { round = !rounds; committed = !n_committed;
+               defeated = w_use - !n_committed });
+        emit (Obs.Phase_time { round = !rounds; phase = Obs.Select; dt_s = dt_select });
+        let exec_work = ref 0 in
+        Array.iteri
+          (fun i t ->
+            if committed.(i) then
+              exec_work := !exec_work + (if t.pure then t.task_work else t.commit_work))
+          cur;
+        emit
+          (Obs.Execute_done
+             { round = !rounds; work = !exec_work; pushes = !round_pushes })
+      end;
       if record then begin
         let round_rec =
           Array.mapi
@@ -301,14 +352,28 @@ let run ?(record = false) ?threads ~pool ~options ~static_id ~operator items =
       next := List.rev_append (List.rev !failed) remainder;
       next_len := !next_len - !n_committed;
       let ratio = float_of_int !n_committed /. float_of_int w_use in
+      let old_w = !window in
       window :=
         if ratio >= target_ratio then min (!window * 2) (1 lsl 22)
-        else max 32 (int_of_float (float_of_int !window *. ratio /. target_ratio) + 1)
+        else max 32 (int_of_float (float_of_int !window *. ratio /. target_ratio) + 1);
+      if tracing && !window <> old_w then
+        emit (Obs.Window_adapted { old_w; new_w = !window; ratio })
     done
   done;
   let time_s = Unix.gettimeofday () -. t0 in
+  if tracing then
+    Array.iteri
+      (fun w (st : Stats.worker) ->
+        emit
+          (Obs.Worker_counters
+             { worker = w; committed = st.committed; aborted = st.aborted;
+               acquires = st.acquires; atomics = st.atomic_updates;
+               work = st.work; pushes = st.pushes;
+               inspections = st.inspections }))
+      workers;
   let stats =
     Stats.merge ~digest:!digest ~threads ~rounds:!rounds ~generations:!generations ~time_s
+      ~phases:(Stats.breakdown ~inspect_s:!inspect_s ~select_s:!select_s ~time_s)
       workers
   in
   let schedule = if record then Some (Schedule.Rounds (List.rev !round_records)) else None in

@@ -9,6 +9,7 @@
 
 val run :
   ?record:bool ->
+  ?sink:Obs.sink ->
   ?threads:int ->
   pool:Parallel.Domain_pool.t ->
   options:Policy.det_options ->
@@ -19,4 +20,12 @@ val run :
 (** [static_id] enables the paper's §3.3 fast path for task pools drawn
     from a fixed universe: ids come from the application (and duplicate
     pushes of one task collapse) instead of lexicographic child
-    sorting. *)
+    sorting.
+
+    [sink] receives the full round/phase event stream: per generation a
+    [Generation_begin]; per round [Round_begin], [Inspect_done],
+    [Select_done], [Execute_done] plus two [Phase_time]s and a
+    [Window_adapted] when the adaptive controller resizes; and final
+    per-worker [Worker_counters]. Events are emitted from sequential
+    sections only, and every field outside [Phase_time] /
+    [Worker_counters] is deterministic. The sink is not closed. *)

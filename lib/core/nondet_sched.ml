@@ -10,7 +10,7 @@
    concurrently executing tasks (§2.1), and a worker runs one task at a
    time, releasing all marks in between. *)
 
-let run ?(record = false) ?threads ~pool ~operator items =
+let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
   (* The policy's thread count rules; a larger shared pool just leaves
      the extra workers idle. *)
   let threads =
@@ -80,7 +80,22 @@ let run ?(record = false) ?threads ~pool ~operator items =
       in
       loop ());
   let time_s = Unix.gettimeofday () -. t0 in
-  let stats = Stats.merge ~threads ~rounds:0 ~generations:0 ~time_s workers in
+  let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
+  emit (Obs.Phase_time { round = 0; phase = Obs.Execute; dt_s = time_s });
+  Array.iteri
+    (fun w (st : Stats.worker) ->
+      emit
+        (Obs.Worker_counters
+           { worker = w; committed = st.committed; aborted = st.aborted;
+             acquires = st.acquires; atomics = st.atomic_updates;
+             work = st.work; pushes = st.pushes;
+             inspections = st.inspections }))
+    workers;
+  let stats =
+    Stats.merge ~threads ~rounds:0 ~generations:0 ~time_s
+      ~phases:(Stats.breakdown ~inspect_s:0.0 ~select_s:time_s ~time_s)
+      workers
+  in
   let schedule =
     if record then
       Some (Schedule.Flat (List.concat_map (fun l -> List.rev l) (Array.to_list records)))

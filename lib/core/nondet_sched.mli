@@ -8,8 +8,11 @@
 
 val run :
   ?record:bool ->
+  ?sink:Obs.sink ->
   ?threads:int ->
   pool:Parallel.Domain_pool.t ->
   operator:(('item, 'state) Context.t -> 'item -> unit) ->
   'item array ->
   Stats.t * Schedule.t option
+(** [sink] receives one [Phase_time] ([Execute]) and per-worker
+    [Worker_counters] events at the end of the run; it is not closed. *)

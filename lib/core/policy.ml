@@ -30,6 +30,130 @@ type det_options = {
 let default_det =
   { target_ratio = 0.9; initial_window = None; spread = 16; continuation = true; validate = false }
 
+module Det_options = struct
+  type t = det_options = {
+    target_ratio : float;
+    initial_window : int option;
+    spread : int;
+    continuation : bool;
+    validate : bool;
+  }
+
+  let default = default_det
+
+  let with_ratio target_ratio t =
+    if target_ratio <= 0.0 then invalid_arg "Det_options.with_ratio: ratio must be > 0";
+    { t with target_ratio }
+
+  let with_window initial_window t =
+    (match initial_window with
+    | Some w when w < 1 -> invalid_arg "Det_options.with_window: window must be >= 1"
+    | _ -> ());
+    { t with initial_window }
+
+  let with_spread spread t =
+    if spread < 1 then invalid_arg "Det_options.with_spread: spread must be >= 1";
+    { t with spread }
+
+  let with_continuation continuation t = { t with continuation }
+  let with_validate validate t = { t with validate }
+
+  let make ?ratio ?window ?spread ?continuation ?validate () =
+    let apply f o t = match o with Some v -> f v t | None -> t in
+    default
+    |> apply with_ratio ratio
+    |> (match window with Some w -> with_window w | None -> Fun.id)
+    |> apply with_spread spread
+    |> apply with_continuation continuation
+    |> apply with_validate validate
+
+  (* Keyed option grammar: "window=64,spread=1,ratio=0.95,cont=off,
+     validate=on". [to_string] emits only the non-default keys, in that
+     fixed order; [of_string] accepts them in any order, rejecting
+     unknown or duplicate keys and out-of-range values, so the two
+     round-trip. *)
+
+  let onoff = function true -> "on" | false -> "off"
+
+  (* %.12g keeps human-entered ratios (0.95) readable while remaining
+     exact for anything with <= 12 significant digits. *)
+  let float_str f = Printf.sprintf "%.12g" f
+
+  let to_string t =
+    let d = default in
+    let kv = Buffer.create 32 in
+    let add k v =
+      if Buffer.length kv > 0 then Buffer.add_char kv ',';
+      Buffer.add_string kv k;
+      Buffer.add_char kv '=';
+      Buffer.add_string kv v
+    in
+    (match t.initial_window with
+    | None -> ()
+    | Some w -> add "window" (string_of_int w));
+    if t.spread <> d.spread then add "spread" (string_of_int t.spread);
+    if t.target_ratio <> d.target_ratio then add "ratio" (float_str t.target_ratio);
+    if t.continuation <> d.continuation then add "cont" (onoff t.continuation);
+    if t.validate <> d.validate then add "validate" (onoff t.validate);
+    Buffer.contents kv
+
+  let of_string body =
+    let ( let* ) = Result.bind in
+    let parse_onoff k v =
+      match v with
+      | "on" -> Ok true
+      | "off" -> Ok false
+      | _ -> Error (Printf.sprintf "option %s: expected on|off, got %S" k v)
+    in
+    let parse_kv (seen, acc) kv =
+      match String.index_opt kv '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+      | Some i ->
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          if List.mem k seen then Error (Printf.sprintf "duplicate option %S" k)
+          else
+            let* acc =
+              match k with
+              | "window" -> (
+                  match v with
+                  | "auto" -> Ok { acc with initial_window = None }
+                  | _ -> (
+                      match int_of_string_opt v with
+                      | Some w when w >= 1 -> Ok { acc with initial_window = Some w }
+                      | _ ->
+                          Error
+                            (Printf.sprintf
+                               "option window: expected auto or an integer >= 1, got %S" v)))
+              | "spread" -> (
+                  match int_of_string_opt v with
+                  | Some s when s >= 1 -> Ok { acc with spread = s }
+                  | _ -> Error (Printf.sprintf "option spread: expected an integer >= 1, got %S" v))
+              | "ratio" -> (
+                  match float_of_string_opt v with
+                  | Some r when r > 0.0 -> Ok { acc with target_ratio = r }
+                  | _ -> Error (Printf.sprintf "option ratio: expected a float > 0, got %S" v))
+              | "cont" ->
+                  let* b = parse_onoff "cont" v in
+                  Ok { acc with continuation = b }
+              | "validate" ->
+                  let* b = parse_onoff "validate" v in
+                  Ok { acc with validate = b }
+              | _ -> Error (Printf.sprintf "unknown option %S" k)
+            in
+            Ok (k :: seen, acc)
+    in
+    if String.trim body = "" then Ok default
+    else
+      let* _, t =
+        List.fold_left
+          (fun acc kv -> match acc with Ok acc -> parse_kv acc kv | e -> e)
+          (Ok ([], default))
+          (String.split_on_char ',' body)
+      in
+      Ok t
+end
+
 type t =
   | Serial
   | Nondet of { threads : int }
@@ -43,26 +167,52 @@ let threads = function Serial -> 1 | Nondet { threads } | Det { threads; _ } -> 
 
 let is_deterministic = function Serial | Det _ -> true | Nondet _ -> false
 
+let grammar = "serial | nondet[:T] | det[:T][k=v,...]"
+
 let of_string s =
-  let fail () =
-    Error (Printf.sprintf "bad policy %S (expected serial | nondet[:T] | det[:T])" s)
-  in
-  let parse_threads rest = match int_of_string_opt rest with
+  let fail msg = Error (Printf.sprintf "bad policy %S (%s)" s msg) in
+  let parse_threads rest =
+    match int_of_string_opt rest with
     | Some t when t > 0 -> Ok t
-    | _ -> fail ()
+    | _ -> Error (Printf.sprintf "bad policy %S (bad thread count %S)" s rest)
   in
-  match String.split_on_char ':' s with
-  | [ "serial" ] -> Ok Serial
-  | [ "nondet" ] -> Ok (Nondet { threads = 1 })
-  | [ "det" ] -> Ok (Det { threads = 1; options = default_det })
-  | [ "nondet"; t ] -> Result.map (fun threads -> Nondet { threads }) (parse_threads t)
-  | [ "det"; t ] ->
-      Result.map (fun threads -> Det { threads; options = default_det }) (parse_threads t)
-  | _ -> fail ()
+  (* "[:T]" suffix: "" means 1 thread, ":8" means 8. *)
+  let parse_suffix rest k =
+    if rest = "" then k 1
+    else if rest.[0] = ':' then
+      Result.bind (parse_threads (String.sub rest 1 (String.length rest - 1))) k
+    else fail ("expected " ^ grammar)
+  in
+  if s = "serial" then Ok Serial
+  else if String.starts_with ~prefix:"nondet" s then
+    parse_suffix (String.sub s 6 (String.length s - 6)) (fun threads ->
+        Ok (Nondet { threads }))
+  else if String.starts_with ~prefix:"det" s then
+    let rest = String.sub s 3 (String.length s - 3) in
+    (* Split off a trailing "[window=64,...]" option block, if any. *)
+    let head, body =
+      match String.index_opt rest '[' with
+      | None -> (rest, Ok "")
+      | Some i ->
+          if String.length rest > 0 && rest.[String.length rest - 1] = ']' then
+            (String.sub rest 0 i, Ok (String.sub rest (i + 1) (String.length rest - i - 2)))
+          else (String.sub rest 0 i, Error ())
+    in
+    match body with
+    | Error () -> fail "unterminated option block, expected det:T[k=v,...]"
+    | Ok body ->
+        parse_suffix head (fun threads ->
+            match Det_options.of_string body with
+            | Ok options -> Ok (Det { threads; options })
+            | Error msg -> fail msg)
+  else fail ("expected " ^ grammar)
 
-let pp ppf = function
-  | Serial -> Fmt.string ppf "serial"
-  | Nondet { threads } -> Fmt.pf ppf "nondet:%d" threads
-  | Det { threads; _ } -> Fmt.pf ppf "det:%d" threads
+let to_string = function
+  | Serial -> "serial"
+  | Nondet { threads } -> Printf.sprintf "nondet:%d" threads
+  | Det { threads; options } -> (
+      match Det_options.to_string options with
+      | "" -> Printf.sprintf "det:%d" threads
+      | body -> Printf.sprintf "det:%d[%s]" threads body)
 
-let to_string t = Fmt.str "%a" pp t
+let pp ppf t = Fmt.string ppf (to_string t)

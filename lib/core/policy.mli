@@ -19,6 +19,63 @@ type det_options = {
 
 val default_det : det_options
 
+(** Constructors, with-style setters and a keyed string grammar for
+    {!det_options}, replacing bare record literals at call sites. *)
+module Det_options : sig
+  type t = det_options = {
+    target_ratio : float;
+    initial_window : int option;
+    spread : int;
+    continuation : bool;
+    validate : bool;
+  }
+
+  val default : t
+  (** = {!default_det}. *)
+
+  val make :
+    ?ratio:float ->
+    ?window:int option ->
+    ?spread:int ->
+    ?continuation:bool ->
+    ?validate:bool ->
+    unit ->
+    t
+  (** Build from {!default}; each argument behaves like the
+      corresponding setter. [window] is the full option: pass
+      [~window:(Some 64)] for a fixed first window, [~window:None] for
+      the task-count-derived default. *)
+
+  val with_ratio : float -> t -> t
+  (** Raises [Invalid_argument] unless the ratio is [> 0]. Values above
+      1 are allowed: they make the target unreachable, pinning the
+      window (used by the §3.3 ablations). *)
+
+  val with_window : int option -> t -> t
+  (** [Some w] fixes the first-round window ([w >= 1], or
+      [Invalid_argument]); [None] restores the task-count-derived
+      default ([window=auto] in the string grammar). *)
+
+  val with_spread : int -> t -> t
+  (** Raises [Invalid_argument] unless [>= 1]; [1] disables spreading. *)
+
+  val with_continuation : bool -> t -> t
+  val with_validate : bool -> t -> t
+
+  val to_string : t -> string
+  (** Keyed form, e.g. ["window=64,spread=1,ratio=0.95,cont=off"]. Only
+      non-default keys are emitted, in the fixed order [window],
+      [spread], [ratio], [cont], [validate]; the default prints as [""].
+      Round-trips through {!of_string} (floats up to 12 significant
+      digits). *)
+
+  val of_string : string -> (t, string) result
+  (** Parse the keyed form, any key order. Keys: [window=<int>=1..|auto],
+      [spread=<int>=1..], [ratio=<float>0..], [cont=on|off],
+      [validate=on|off]. Unknown keys, duplicate keys and out-of-range
+      values are rejected; [""] is {!default}. *)
+end
+
 type t =
   | Serial  (** in-order sequential execution *)
   | Nondet of { threads : int }  (** speculative scheduling (Fig. 1b) *)
@@ -35,8 +92,20 @@ val is_deterministic : t -> bool
 (** True for [Serial] and [Det]: the output is a function of the input
     only, not of timing or thread count. *)
 
+val grammar : string
+(** One-line grammar summary for help text:
+    ["serial | nondet[:T] | det[:T][k=v,...]"]. *)
+
 val of_string : string -> (t, string) result
-(** Parses ["serial"], ["nondet:8"], ["det:8"] (thread count optional). *)
+(** Parses ["serial"], ["nondet\[:T\]"] and ["det\[:T\]\[k=v,...\]"]
+    (thread count defaults to 1). The optional bracketed block after
+    [det] carries {!Det_options.of_string} options, e.g.
+    ["det:8\[window=64,spread=1,ratio=0.95,cont=off\]"]. Inverse of
+    {!to_string}. *)
 
 val pp : Format.formatter -> t -> unit
+
 val to_string : t -> string
+(** Canonical render; non-default deterministic options reappear in the
+    bracketed keyed form, so [of_string (to_string p)] yields [p]
+    (floats up to 12 significant digits). *)

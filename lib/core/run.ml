@@ -1,0 +1,101 @@
+(* The builder behind [Galois.Run] — the runtime's primary entry point.
+
+   A Galois program is an operator plus an initial task pool; everything
+   about *how* it executes — serially, speculatively in parallel, or
+   deterministically, with or without schedule recording and event
+   tracing — is configured here at run time. This is the paper's
+   on-demand determinism: the application source never changes. *)
+
+type ('item, 'state) operator = ('item, 'state) Context.t -> 'item -> unit
+
+type report = {
+  stats : Stats.t;
+  schedule : Schedule.t option;
+  trace : Obs.stamped list option;
+}
+
+type ('item, 'state) t = {
+  operator : ('item, 'state) operator;
+  items : 'item array;
+  policy_ : Policy.t;
+  pool_ : Parallel.Domain_pool.t option;
+  record_ : bool;
+  static_id_ : ('item -> int) option;
+  sink_ : Obs.sink;
+  capture_ : bool;
+}
+
+let make ~operator items =
+  {
+    operator;
+    items;
+    policy_ = Policy.Serial;
+    pool_ = None;
+    record_ = false;
+    static_id_ = None;
+    sink_ = Obs.null;
+    capture_ = false;
+  }
+
+let policy p t = { t with policy_ = p }
+let pool p t = { t with pool_ = Some p }
+let record t = { t with record_ = true }
+let static_id f t = { t with static_id_ = Some f }
+
+let sink s t =
+  { t with sink_ = (if t.sink_ == Obs.null then s else Obs.tee t.sink_ s) }
+
+let trace t = { t with capture_ = true }
+
+let opt f o t = match o with Some v -> f v t | None -> t
+
+let with_pool ?pool threads f =
+  match pool with
+  | Some p ->
+      if Parallel.Domain_pool.size p < threads then
+        invalid_arg "Runtime.for_each: pool smaller than policy thread count";
+      f p
+  | None -> Parallel.Domain_pool.with_pool threads f
+
+let exec t =
+  let memory = if t.capture_ then Some (Obs.Memory.create ()) else None in
+  let sink =
+    match memory with
+    | Some m ->
+        if t.sink_ == Obs.null then Obs.Memory.sink m
+        else Obs.tee t.sink_ (Obs.Memory.sink m)
+    | None -> t.sink_
+  in
+  let tracing = sink != Obs.null in
+  let emit event =
+    if tracing then sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event }
+  in
+  emit
+    (Obs.Run_begin
+       {
+         policy = Policy.to_string t.policy_;
+         threads = Policy.threads t.policy_;
+         tasks = Array.length t.items;
+       });
+  let stats, schedule =
+    match t.policy_ with
+    | Policy.Serial -> Serial_sched.run ~record:t.record_ ~sink ~operator:t.operator t.items
+    | Policy.Nondet { threads } ->
+        with_pool ?pool:t.pool_ threads (fun pool ->
+            Nondet_sched.run ~record:t.record_ ~sink ~threads ~pool ~operator:t.operator
+              t.items)
+    | Policy.Det { threads; options } ->
+        with_pool ?pool:t.pool_ threads (fun pool ->
+            Det_sched.run ~record:t.record_ ~sink ~threads ~pool ~options
+              ~static_id:t.static_id_ ~operator:t.operator t.items)
+  in
+  emit
+    (Obs.Run_end
+       {
+         commits = stats.Stats.commits;
+         rounds = stats.Stats.rounds;
+         generations = stats.Stats.generations;
+       });
+  (* User sinks are never closed here: they may span several runs. The
+     capture buffer is ours and needs no closing. *)
+  { stats; schedule; trace = Option.map Obs.Memory.contents memory }

@@ -1,0 +1,64 @@
+(** The primary runtime entry point: a builder over everything a run
+    can carry — policy, pool, schedule recording, static ids, trace
+    sinks and in-memory trace capture.
+
+    {[
+      let report =
+        Galois.Run.(
+          make ~operator initial_tasks
+          |> policy (Galois.Policy.det 8)
+          |> record
+          |> sink (Obs.Jsonl.file "run.jsonl")
+          |> exec)
+    ]}
+
+    {!Runtime.for_each} remains as a thin alias for the common cases. *)
+
+type ('item, 'state) operator = ('item, 'state) Context.t -> 'item -> unit
+
+type report = {
+  stats : Stats.t;
+  schedule : Schedule.t option;  (** present iff {!record} was requested *)
+  trace : Obs.stamped list option;  (** present iff {!trace} was requested *)
+}
+
+type ('item, 'state) t
+(** An unexecuted run description. Immutable: every combinator returns
+    a new value, so partial descriptions can be shared and specialized. *)
+
+val make : operator:('item, 'state) operator -> 'item array -> ('item, 'state) t
+(** A run of [operator] over the given initial tasks, under
+    {!Policy.serial}, with no pool, recording, sinks or capture. *)
+
+val policy : Policy.t -> ('item, 'state) t -> ('item, 'state) t
+
+val pool : Parallel.Domain_pool.t -> ('item, 'state) t -> ('item, 'state) t
+(** Reuse an existing domain pool (must be at least as large as the
+    policy's thread count — {!exec} raises [Invalid_argument]
+    otherwise); without one, {!exec} creates a temporary pool. *)
+
+val record : ('item, 'state) t -> ('item, 'state) t
+(** Capture a {!Schedule.t} for the simulators ([report.schedule]). *)
+
+val static_id : ('item -> int) -> ('item, 'state) t -> ('item, 'state) t
+(** Deterministic-scheduler fast path for fixed task universes (§3.3);
+    ignored by other policies. *)
+
+val sink : Obs.sink -> ('item, 'state) t -> ('item, 'state) t
+(** Stream observability events into [sink] during execution. May be
+    called several times; all sinks receive every event. Sinks are
+    {e never closed} by {!exec} — a sink can outlive many runs (e.g.
+    one trace file across the epochs of preflow-push); closing is the
+    creator's responsibility. *)
+
+val trace : ('item, 'state) t -> ('item, 'state) t
+(** Additionally capture the event stream in memory and return it as
+    [report.trace]. *)
+
+val opt : ('a -> ('i, 's) t -> ('i, 's) t) -> 'a option -> ('i, 's) t -> ('i, 's) t
+(** [opt f (Some v)] is [f v]; [opt f None] is the identity — for
+    threading optional arguments through a builder chain. *)
+
+val exec : ('item, 'state) t -> report
+(** Run all tasks (and the tasks they create) to completion. The event
+    stream is bracketed by [Run_begin] and [Run_end]. *)

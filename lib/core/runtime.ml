@@ -1,34 +1,22 @@
-(* The user-facing runtime entry point.
+(* Thin compatibility facade over [Run], the builder-style entry point.
 
-   A Galois program is an operator plus an initial task pool; everything
-   about *how* it executes — serially, speculatively in parallel, or
-   deterministically — is a run-time policy. This is the paper's
-   on-demand determinism: the application source never changes. *)
+   [for_each] predates the builder and remains the convenient call for
+   the common cases; it simply assembles a [Run.t] and executes it. *)
 
-type ('item, 'state) operator = ('item, 'state) Context.t -> 'item -> unit
+type ('item, 'state) operator = ('item, 'state) Run.operator
 
-type report = { stats : Stats.t; schedule : Schedule.t option }
+type report = Run.report = {
+  stats : Stats.t;
+  schedule : Schedule.t option;
+  trace : Obs.stamped list option;
+}
 
-let with_pool ?pool threads f =
-  match pool with
-  | Some p ->
-      if Parallel.Domain_pool.size p < threads then
-        invalid_arg "Runtime.for_each: pool smaller than policy thread count";
-      f p
-  | None -> Parallel.Domain_pool.with_pool threads f
-
-let for_each ?(policy = Policy.Serial) ?pool ?(record = false) ?static_id ~operator items =
-  match policy with
-  | Policy.Serial ->
-      let stats, schedule = Serial_sched.run ~record ~operator items in
-      { stats; schedule }
-  | Policy.Nondet { threads } ->
-      with_pool ?pool threads (fun pool ->
-          let stats, schedule = Nondet_sched.run ~record ~threads ~pool ~operator items in
-          { stats; schedule })
-  | Policy.Det { threads; options } ->
-      with_pool ?pool threads (fun pool ->
-          let stats, schedule =
-            Det_sched.run ~record ~threads ~pool ~options ~static_id ~operator items
-          in
-          { stats; schedule })
+let for_each ?(policy = Policy.Serial) ?pool ?(record = false) ?static_id ?sink ~operator
+    items =
+  Run.make ~operator items
+  |> Run.policy policy
+  |> Run.opt Run.pool pool
+  |> (if record then Run.record else Fun.id)
+  |> Run.opt Run.static_id static_id
+  |> Run.opt Run.sink sink
+  |> Run.exec

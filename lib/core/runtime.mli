@@ -1,5 +1,10 @@
-(** Runtime entry point: execute an unordered Galois task pool under a
-    chosen policy.
+(** Convenience runtime entry point: execute an unordered Galois task
+    pool under a chosen policy.
+
+    This is a thin, stable alias over the {!Run} builder — the two are
+    interchangeable; use {!Run} when a run carries more configuration
+    (multiple sinks, trace capture) than reads well as optional
+    arguments.
 
     {[
       let report =
@@ -13,22 +18,28 @@
           initial_tasks
     ]} *)
 
-type ('item, 'state) operator = ('item, 'state) Context.t -> 'item -> unit
+type ('item, 'state) operator = ('item, 'state) Run.operator
 (** An operator executes one task: acquire the neighborhood, declare the
     failsafe point, then mutate. ['state] is the continuation-state type
     ([unit] if unused). *)
 
-type report = { stats : Stats.t; schedule : Schedule.t option }
+type report = Run.report = {
+  stats : Stats.t;
+  schedule : Schedule.t option;
+  trace : Obs.stamped list option;
+}
 
 val for_each :
   ?policy:Policy.t ->
   ?pool:Parallel.Domain_pool.t ->
   ?record:bool ->
   ?static_id:('item -> int) ->
+  ?sink:Obs.sink ->
   operator:('item, 'state) operator ->
   'item array ->
   report
-(** Run all tasks (and the tasks they create) to completion.
+(** Run all tasks (and the tasks they create) to completion. Equivalent
+    to [Run.make ~operator items |> Run.policy ... |> Run.exec].
 
     @param policy execution policy; default {!Policy.Serial}.
     @param pool reuse an existing domain pool (must be at least as large
@@ -36,4 +47,6 @@ val for_each :
       created.
     @param record capture a {!Schedule.t} for the simulators.
     @param static_id deterministic-scheduler fast path for fixed task
-      universes (§3.3); ignored by other policies. *)
+      universes (§3.3); ignored by other policies.
+    @param sink stream observability events into an {!Obs.sink}; the
+      sink is not closed (see {!Run.sink}). *)

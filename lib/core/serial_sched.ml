@@ -2,9 +2,11 @@
 
    Trivially deterministic; serves as the semantic reference that both
    parallel schedulers are tested against, and as the single-thread
-   baseline of the evaluation. *)
+   baseline of the evaluation. Observability events are emitted once at
+   the end: there are no rounds, so the whole run is one Execute
+   phase. *)
 
-let run ?(record = false) ~operator items =
+let run ?(record = false) ?(sink = Obs.null) ~operator items =
   let stats = Stats.make_worker () in
   let ctx = Context.create () in
   Context.set_stats ctx stats;
@@ -36,6 +38,18 @@ let run ?(record = false) ~operator items =
     stats.committed <- stats.committed + 1
   done;
   let time_s = Unix.gettimeofday () -. t0 in
-  let stats = Stats.merge ~threads:1 ~rounds:0 ~generations:0 ~time_s [| stats |] in
+  let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
+  emit (Obs.Phase_time { round = 0; phase = Obs.Execute; dt_s = time_s });
+  emit
+    (Obs.Worker_counters
+       { worker = 0; committed = stats.committed; aborted = stats.aborted;
+         acquires = stats.acquires; atomics = stats.atomic_updates;
+         work = stats.work; pushes = stats.pushes;
+         inspections = stats.inspections });
+  let stats =
+    Stats.merge ~threads:1 ~rounds:0 ~generations:0 ~time_s
+      ~phases:(Stats.breakdown ~inspect_s:0.0 ~select_s:time_s ~time_s)
+      [| stats |]
+  in
   let schedule = if record then Some (Schedule.Flat (List.rev !records)) else None in
   (stats, schedule)

@@ -26,6 +26,23 @@ let make_worker () =
     inspections = 0;
   }
 
+(* Wall-clock breakdown of a run across scheduler phases. For the DIG
+   scheduler [inspect_s]/[select_s] accumulate the two parallel phases
+   and [other_s] is everything else (generation sort, sequential round
+   glue, window adaptation); serial and speculative runs book all their
+   time under [select_s] (execution). The three fields always sum to
+   [time_s]. *)
+type phase_times = { inspect_s : float; select_s : float; other_s : float }
+
+let no_phases = { inspect_s = 0.0; select_s = 0.0; other_s = 0.0 }
+
+let breakdown ~inspect_s ~select_s ~time_s =
+  let inspect_s = Float.max 0.0 inspect_s
+  and select_s = Float.max 0.0 select_s in
+  { inspect_s; select_s; other_s = Float.max 0.0 (time_s -. inspect_s -. select_s) }
+
+let phase_total p = p.inspect_s +. p.select_s +. p.other_s
+
 type t = {
   threads : int;
   commits : int;
@@ -44,9 +61,11 @@ type t = {
          Two deterministic runs took the same schedule iff their digests
          agree — the O(1) comparison the determinism audit relies on. *)
   time_s : float;  (* wall-clock of the parallel section *)
+  phases : phase_times;  (* where [time_s] went, per scheduler phase *)
 }
 
-let merge ?(digest = Trace_digest.absent) ~threads ~rounds ~generations ~time_s workers =
+let merge ?(digest = Trace_digest.absent) ?phases ~threads ~rounds ~generations
+    ~time_s workers =
   let commits = ref 0
   and aborts = ref 0
   and acquired = ref 0
@@ -77,6 +96,10 @@ let merge ?(digest = Trace_digest.absent) ~threads ~rounds ~generations ~time_s 
     generations;
     digest;
     time_s;
+    phases =
+      (match phases with
+      | Some p -> p
+      | None -> breakdown ~inspect_s:0.0 ~select_s:0.0 ~time_s);
   }
 
 (* Combine reports of consecutive executions (e.g. the epochs of
@@ -95,6 +118,12 @@ let add a b =
     generations = a.generations + b.generations;
     digest = Trace_digest.combine a.digest b.digest;
     time_s = a.time_s +. b.time_s;
+    phases =
+      {
+        inspect_s = a.phases.inspect_s +. b.phases.inspect_s;
+        select_s = a.phases.select_s +. b.phases.select_s;
+        other_s = a.phases.other_s +. b.phases.other_s;
+      };
   }
 
 let zero threads =
@@ -111,6 +140,7 @@ let zero threads =
     generations = 0;
     digest = Trace_digest.absent;
     time_s = 0.0;
+    phases = no_phases;
   }
 
 let abort_ratio t =
@@ -121,9 +151,19 @@ let commits_per_us t = if t.time_s <= 0.0 then 0.0 else float_of_int t.commits /
 
 let atomics_per_us t = if t.time_s <= 0.0 then 0.0 else float_of_int t.atomics /. (t.time_s *. 1e6)
 
+let pp_phases ppf p =
+  Fmt.pf ppf "phases inspect=%.4fs select=%.4fs other=%.4fs" p.inspect_s
+    p.select_s p.other_s
+
+(* The digest line only means something for deterministic runs; for
+   serial/nondet ([Trace_digest.absent]) show the phase breakdown
+   without a misleading "digest=-". *)
+let pp_digest ppf d =
+  if not (Trace_digest.is_absent d) then Fmt.pf ppf " digest=%a" Trace_digest.pp d
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>threads=%d commits=%d aborts=%d (ratio %.4f)@ acquires=%d atomics=%d work=%d created=%d@ \
-     inspections=%d rounds=%d generations=%d digest=%a time=%.4fs@]"
+     inspections=%d rounds=%d generations=%d%a time=%.4fs@ %a@]"
     t.threads t.commits t.aborts (abort_ratio t) t.acquired t.atomics t.work_units t.created
-    t.inspected t.rounds t.generations Trace_digest.pp t.digest t.time_s
+    t.inspected t.rounds t.generations pp_digest t.digest t.time_s pp_phases t.phases

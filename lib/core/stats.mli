@@ -18,6 +18,24 @@ type worker = {
 
 val make_worker : unit -> worker
 
+type phase_times = { inspect_s : float; select_s : float; other_s : float }
+(** Wall-clock breakdown of {!t.time_s} across scheduler phases. The DIG
+    scheduler reports its two parallel phases in [inspect_s]/[select_s]
+    with sequential glue (generation sort, mark resolution, window
+    adaptation) in [other_s]; serial and speculative executions book all
+    their time under [select_s]. Always sums to {!t.time_s} (up to float
+    rounding). *)
+
+val no_phases : phase_times
+(** All zero; the breakdown of {!zero}. *)
+
+val breakdown : inspect_s:float -> select_s:float -> time_s:float -> phase_times
+(** Clamp the measured phase times to [\[0, ∞)] and attribute the
+    remainder of [time_s] to [other_s] (clamped at 0). *)
+
+val phase_total : phase_times -> float
+(** Sum of the three components. *)
+
 type t = {
   threads : int;
   commits : int;
@@ -35,17 +53,21 @@ type t = {
           runs of the same program took the same schedule iff their
           digests agree. *)
   time_s : float;
+  phases : phase_times;  (** where [time_s] went, per scheduler phase *)
 }
 (** Aggregated result of one [for_each] execution. *)
 
 val merge :
   ?digest:Trace_digest.t ->
+  ?phases:phase_times ->
   threads:int ->
   rounds:int ->
   generations:int ->
   time_s:float ->
   worker array ->
   t
+(** When [phases] is omitted the whole of [time_s] is booked under
+    [other_s]. *)
 
 val add : t -> t -> t
 (** Combine consecutive executions (counters sum, times add, digests
@@ -63,4 +85,9 @@ val commits_per_us : t -> float
 val atomics_per_us : t -> float
 (** Atomic updates per microsecond (Fig. 5). *)
 
+val pp_phases : Format.formatter -> phase_times -> unit
+
 val pp : Format.formatter -> t -> unit
+(** Multi-line summary. The digest is printed only when present
+    (deterministic runs); serial/nondet runs show the phase-time
+    breakdown without a digest line. *)

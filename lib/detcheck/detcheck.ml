@@ -23,7 +23,9 @@
    genuinely different claims:
 
    - across thread counts at a fixed configuration, the *schedule itself*
-     is invariant: round-trace digest, output digest, everything;
+     is invariant: round-trace digest, output digest, and the rendered
+     deterministic observability event stream (lib/obs, timing events
+     stripped) byte for byte;
 
    - across configurations (window, spread, static ids), the schedule
      legitimately differs but the *answer* must not: only the
@@ -38,6 +40,13 @@ type run_result = {
   output_digest : D.t;  (* order-sensitive digest of the final output *)
   canonical_digest : D.t;  (* configuration-invariant digest of the answer *)
   commits : int;
+  det_trace : string;
+      (* The rendered deterministic observability event stream
+         ([Obs.deterministic_lines] of the run's trace, timing fields
+         stripped): must be byte-identical across thread counts at a
+         fixed configuration, like the schedule digest — but checked at
+         the event level, so a divergence names the first differing
+         round rather than just "digests differ". *)
 }
 
 type case = {
@@ -101,7 +110,9 @@ type divergence = {
   case_name : string;
   config : string;
   threads : int;
-  quantity : string;  (* "sched-digest" | "output-digest" | "canonical-digest" *)
+  quantity : string;
+      (* "sched-digest" | "output-digest" | "canonical-digest"
+         | "trace-stream" (digests of the deterministic event stream) *)
   expected : D.t;
   got : D.t;
 }
@@ -162,7 +173,14 @@ let check_invariance ?(threads = default_threads) ?configs case =
                   in
                   check "sched-digest" reference.sched_digest r.sched_digest;
                   check "output-digest" reference.output_digest r.output_digest;
-                  check "canonical-digest" reference.canonical_digest r.canonical_digest)
+                  check "canonical-digest" reference.canonical_digest r.canonical_digest;
+                  (* Byte-compare the deterministic event streams; report
+                     as digests (the strings are too long for a
+                     divergence record). *)
+                  if not (String.equal reference.det_trace r.det_trace) then
+                    check "trace-stream"
+                      (D.fold_string D.seed reference.det_trace)
+                      (D.fold_string D.seed r.det_trace))
                 rest)
         configs;
       { case_name = case.name; runs = !runs; divergences = List.rev !divergences })
@@ -324,7 +342,14 @@ module Gen = struct
       in
       let items = Array.init p.tasks (fun k -> (0, k)) in
       let static_id = if static_id then Some key_of else None in
-      let report = Galois.Runtime.for_each ~policy ~pool ?static_id ~operator items in
+      let report =
+        Galois.Run.make ~operator items
+        |> Galois.Run.policy policy
+        |> Galois.Run.pool pool
+        |> Galois.Run.opt Galois.Run.static_id static_id
+        |> Galois.Run.trace
+        |> Galois.Run.exec
+      in
       let output_digest =
         Array.fold_left
           (fun d cell ->
@@ -345,6 +370,7 @@ module Gen = struct
         output_digest;
         canonical_digest;
         commits = report.stats.commits;
+        det_trace = Obs.deterministic_lines (Option.value ~default:[] report.trace);
       }
     in
     { name; static_id_capable = p.unique_children; run }
@@ -364,13 +390,15 @@ module App_cases = struct
   let bfs ~n ~seed =
     let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
     let run ~policy ~pool ~static_id:_ =
-      let dist, report = Apps.Bfs.galois ~policy ~pool g ~source:0 in
+      let mem = Obs.Memory.create () in
+      let dist, report = Apps.Bfs.galois ~sink:(Obs.Memory.sink mem) ~policy ~pool g ~source:0 in
       let d = digest_ints dist in
       {
         sched_digest = report.stats.digest;
         output_digest = d;
         canonical_digest = d;
         commits = report.stats.commits;
+        det_trace = Obs.deterministic_lines (Obs.Memory.contents mem);
       }
     in
     { name = Printf.sprintf "bfs(n=%d,seed=%d)" n seed; static_id_capable = false; run }
@@ -379,13 +407,15 @@ module App_cases = struct
     let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
     let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
     let run ~policy ~pool ~static_id:_ =
-      let dist, report = Apps.Sssp.galois ~policy ~pool g w ~source:0 in
+      let mem = Obs.Memory.create () in
+      let dist, report = Apps.Sssp.galois ~sink:(Obs.Memory.sink mem) ~policy ~pool g w ~source:0 in
       let d = digest_ints dist in
       {
         sched_digest = report.stats.digest;
         output_digest = d;
         canonical_digest = d;
         commits = report.stats.commits;
+        det_trace = Obs.deterministic_lines (Obs.Memory.contents mem);
       }
     in
     { name = Printf.sprintf "sssp(n=%d,seed=%d)" n seed; static_id_capable = false; run }
@@ -399,7 +429,10 @@ module App_cases = struct
     let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n ~k:4 ()) in
     let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
     let run ~policy ~pool ~static_id:_ =
-      let forest, report = Apps.Boruvka.galois ~policy ~pool g w in
+      let mem = Obs.Memory.create () in
+      let forest, report =
+        Apps.Boruvka.galois ~sink:(Obs.Memory.sink mem) ~policy ~pool g w
+      in
       let fold_edges d edges = List.fold_left D.fold_int d edges in
       let output_digest =
         D.fold_int (fold_edges D.seed forest.Apps.Boruvka.parent_edge)
@@ -415,6 +448,7 @@ module App_cases = struct
         output_digest;
         canonical_digest;
         commits = report.stats.commits;
+        det_trace = Obs.deterministic_lines (Obs.Memory.contents mem);
       }
     in
     { name = Printf.sprintf "boruvka(n=%d,seed=%d)" n seed; static_id_capable = false; run }
@@ -428,7 +462,8 @@ module App_cases = struct
     let pts = Geometry.Point.random_unit_square ~seed points in
     let run ~policy ~pool ~static_id:_ =
       let mesh = Apps.Dt.serial pts in
-      let report = Apps.Dmr.galois ~policy ~pool mesh in
+      let mem = Obs.Memory.create () in
+      let report = Apps.Dmr.galois ~sink:(Obs.Memory.sink mem) ~policy ~pool mesh in
       let output_digest =
         List.fold_left
           (fun d tri ->
@@ -443,6 +478,7 @@ module App_cases = struct
         output_digest;
         canonical_digest;
         commits = report.stats.commits;
+        det_trace = Obs.deterministic_lines (Obs.Memory.contents mem);
       }
     in
     { name = Printf.sprintf "dmr(points=%d,seed=%d)" points seed; static_id_capable = false; run }

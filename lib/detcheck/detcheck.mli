@@ -6,9 +6,11 @@
     static ids), asserting:
 
     - at a fixed configuration, the round-trace digest
-      ({!Galois.Stats.t.digest}) and the order-sensitive output digest
-      are identical across all thread counts — the paper's portability
-      claim, checked in O(1) per comparison;
+      ({!Galois.Stats.t.digest}), the order-sensitive output digest and
+      the rendered deterministic observability event stream
+      ({!Obs.deterministic_lines}, timing events stripped) are identical
+      across all thread counts — the paper's portability claim, checked
+      in O(1) per comparison (byte-for-byte for the event stream);
     - across configurations, the case's canonical digest (its notion of
       "the answer") is identical — schedules may differ, answers may
       not.
@@ -27,6 +29,10 @@ type run_result = {
   canonical_digest : Galois.Trace_digest.t;
       (** digest of the configuration-invariant answer *)
   commits : int;
+  det_trace : string;
+      (** rendered deterministic event stream of the run
+          ({!Obs.deterministic_lines}): byte-identical across thread
+          counts at a fixed configuration *)
 }
 
 type case = {

@@ -94,7 +94,9 @@ let collect_pfp pool (s : Scale.t) =
     let g, caps, source, sink = instance () in
     let net = Apps.Flow_network.of_graph g caps ~source ~sink in
     let result = Apps.Pfp.galois ~record:true ~policy ~pool net in
-    { Galois.Runtime.stats = result.Apps.Pfp.stats; schedule = result.Apps.Pfp.schedule }
+    { Galois.Runtime.stats = result.Apps.Pfp.stats;
+      schedule = result.Apps.Pfp.schedule;
+      trace = None }
   in
   let serial = run Galois.Policy.serial in
   let nondet = run nondet_policy in

@@ -584,6 +584,100 @@ let ablation t =
         ~header:[ "deterministic-scheduler ablation"; "rounds"; "failed"; "sim time @40 (s)" ]
         (rows @ pfp_rows))
 
+(* ------------------------------------------------------------------ *)
+(* Phase breakdown of an observability trace (lib/obs): where a run's
+   wall-clock went per scheduler phase, plus round/window/commit-ratio
+   structure. Consumes any stamped event stream — an in-memory capture
+   or a JSONL trace written by `galois_run --trace` (figures_cli
+   --phase-breakdown FILE). *)
+
+let phase_breakdown (events : Obs.stamped list) =
+  let inspect = ref 0.0
+  and select = ref 0.0
+  and execute = ref 0.0
+  and inspect_n = ref 0
+  and select_n = ref 0
+  and execute_n = ref 0
+  and rounds = ref 0
+  and window_sum = ref 0
+  and committed = ref 0
+  and defeated = ref 0
+  and adaptations = ref 0 in
+  List.iter
+    (fun { Obs.event; _ } ->
+      match event with
+      | Obs.Phase_time { phase = Obs.Inspect; dt_s; _ } ->
+          inspect := !inspect +. dt_s;
+          incr inspect_n
+      | Obs.Phase_time { phase = Obs.Select; dt_s; _ } ->
+          select := !select +. dt_s;
+          incr select_n
+      | Obs.Phase_time { phase = Obs.Execute; dt_s; _ } ->
+          execute := !execute +. dt_s;
+          incr execute_n
+      | Obs.Round_begin { window; _ } ->
+          incr rounds;
+          window_sum := !window_sum + window
+      | Obs.Select_done { committed = c; defeated = d; _ } ->
+          committed := !committed + c;
+          defeated := !defeated + d
+      | Obs.Window_adapted _ -> incr adaptations
+      | _ -> ())
+    events;
+  let wall =
+    match events with
+    | [] -> 0.0
+    | first :: rest ->
+        List.fold_left (fun _ (e : Obs.stamped) -> e.at_s) first.Obs.at_s rest
+        -. first.Obs.at_s
+  in
+  let tracked = !inspect +. !select +. !execute in
+  let other = Float.max 0.0 (wall -. tracked) in
+  let share x =
+    if wall <= 0.0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. x /. wall)
+  in
+  let phase_row name time n =
+    [ name; Analysis.Table.f4 time; share time; Analysis.Table.i n ]
+  in
+  let info_row name value = [ name; "-"; "-"; value ] in
+  let attempts = !committed + !defeated in
+  Analysis.Table.make
+    ~header:[ "phase"; "time (s)"; "share"; "n" ]
+    ([
+       phase_row "inspect" !inspect !inspect_n;
+       phase_row "select+execute" !select !select_n;
+     ]
+    @ (if !execute_n > 0 then [ phase_row "direct execute" !execute !execute_n ] else [])
+    @ [
+        [ "other (sort/select/glue)"; Analysis.Table.f4 other; share other; "-" ];
+        [ "wall (first to last event)"; Analysis.Table.f4 wall; share wall; "-" ];
+        info_row "rounds" (Analysis.Table.i !rounds);
+        info_row "mean window"
+          (if !rounds = 0 then "-"
+           else Analysis.Table.f1 (float_of_int !window_sum /. float_of_int !rounds));
+        info_row "commit ratio"
+          (if attempts = 0 then "-"
+           else Analysis.Table.f3 (float_of_int !committed /. float_of_int attempts));
+        info_row "window adaptations" (Analysis.Table.i !adaptations);
+      ])
+
+(* The traced-run figure: one deterministic bfs run with an in-memory
+   sink, summarized by [phase_breakdown]. *)
+let obs_phases t =
+  let scale = t.data.Dataset.scale in
+  Parallel.Domain_pool.with_pool Dataset.run_threads (fun pool ->
+      let g =
+        Graphlib.Generators.kout ~seed:scale.Scale.seed ~n:scale.Scale.bfs_nodes
+          ~k:scale.Scale.bfs_degree ()
+      in
+      let mem = Obs.Memory.create () in
+      let _, _report =
+        Apps.Bfs.galois ~sink:(Obs.Memory.sink mem)
+          ~policy:(Galois.Policy.det Dataset.run_threads)
+          ~pool g ~source:0
+      in
+      phase_breakdown (Obs.Memory.contents mem))
+
 let all_figures t =
   [
     ("fig4", "Task rates, abort ratios and rounds (m4x10)", fun () -> fig4 t);
@@ -601,6 +695,8 @@ let all_figures t =
     ("fig12", "Efficiency vs memory-counter model fit", fun () -> fig12 t);
     ("summary", "Headline medians (paper §5.3)", fun () -> summary t);
     ("ablation", "Design-choice ablations (§3.3 optimizations)", fun () -> ablation t);
+    ("obs-phases", "Per-phase time breakdown of a traced deterministic bfs run", fun () ->
+      obs_phases t);
   ]
 
 let print_figure ?(oc = Fmt.stdout) t name =

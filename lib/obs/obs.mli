@@ -1,0 +1,152 @@
+(** Structured round/phase observability for the Galois runtime.
+
+    All three schedulers can emit a stream of typed events into a
+    {!sink}: round boundaries, per-phase outcomes (inspect /
+    select-and-execute), adaptive-window decisions, per-worker counters
+    and per-phase wall-clock timings. Events that depend only on the
+    input and the policy — never on timing or thread count — are
+    classified {!deterministic}; rendering just those
+    ({!deterministic_lines}) yields a byte-comparable stream that must
+    be identical across thread counts for a deterministic run, which
+    [lib/detcheck] audits across its configuration lattice.
+
+    Sinks are synchronous and are only ever called from the scheduler's
+    sequential sections (never concurrently), so they need no locking. *)
+
+(** {1 Events} *)
+
+(** The two instrumented phases of a DIG round, plus [Execute] for
+    schedulers that run tasks directly (serial, speculative). *)
+type phase = Inspect | Select | Execute
+
+val phase_name : phase -> string
+(** ["inspect"], ["select"] or ["execute"]. *)
+
+val phase_of_name : string -> phase option
+
+type event =
+  | Run_begin of { policy : string; threads : int; tasks : int }
+      (** First event of a run. Carries the rendered policy and thread
+          count, so it is {e not} part of the deterministic stream. *)
+  | Generation_begin of { generation : int; tasks : int }
+      (** The DIG scheduler drained its pending queue into a new
+          sorted generation of [tasks] tasks. *)
+  | Round_begin of { round : int; window : int }
+      (** A DIG round starts over a window of [window] tasks. *)
+  | Inspect_done of { round : int; marked : int; saved_continuations : int }
+      (** Inspect phase finished: [marked] locations were acquired
+          (max-id marked) in total; [saved_continuations] tasks saved a
+          continuation at their failsafe point. *)
+  | Select_done of { round : int; committed : int; defeated : int }
+      (** Mark ownership resolved: [committed] tasks won all their
+          marks, [defeated] lost at least one and retry next round. *)
+  | Execute_done of { round : int; work : int; pushes : int }
+      (** Commit execution finished: [work] abstract work units were
+          performed by committed tasks, which pushed [pushes] children. *)
+  | Window_adapted of { old_w : int; new_w : int; ratio : float }
+      (** The adaptive controller resized the window after a round with
+          commit ratio [ratio]. Only emitted when the size changes. *)
+  | Phase_time of { round : int; phase : phase; dt_s : float }
+      (** Wall-clock seconds spent in one phase of one round. Timing
+          is machine- and run-dependent: never deterministic. *)
+  | Worker_counters of {
+      worker : int;
+      committed : int;
+      aborted : int;
+      acquires : int;
+      atomics : int;
+      work : int;
+      pushes : int;
+      inspections : int;
+    }
+      (** End-of-run per-worker totals. Task→worker attribution depends
+          on timing, so these are not deterministic. *)
+  | Run_end of { commits : int; rounds : int; generations : int }
+      (** Last event of a run. *)
+
+type stamped = { at_s : float; event : event }
+(** An event with the absolute wall-clock time it was emitted at. *)
+
+val deterministic : event -> bool
+(** [true] iff every field of the event is a function of the input and
+    the policy alone — identical across machines and thread counts for
+    a deterministic ([det]) run. [Run_begin], [Phase_time] and
+    [Worker_counters] are excluded; everything else is included. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line human rendering, stable across runs (no timestamps). *)
+
+val deterministic_lines : stamped list -> string
+(** Render the deterministic subset of a trace, one event per line,
+    timestamps stripped. Two deterministic runs of the same input must
+    produce byte-identical results regardless of thread count; this is
+    the quantity detcheck compares across its lattice. *)
+
+(** {1 Sinks} *)
+
+type sink = { emit : stamped -> unit; close : unit -> unit }
+(** A consumer of stamped events. [close] flushes/releases resources;
+    the creator of a sink is responsible for closing it (the runtime
+    never closes user-supplied sinks — a sink may outlive several runs,
+    e.g. one trace file across the epochs of [pfp]). *)
+
+val null : sink
+(** Discards everything. *)
+
+val tee : sink -> sink -> sink
+(** Emits into both sinks; [close] closes both. *)
+
+val close : sink -> unit
+(** [close s = s.close ()]. *)
+
+val pretty : ?ppf:Format.formatter -> unit -> sink
+(** Human-readable printer (default {!Fmt.stderr}); each line is
+    prefixed with seconds elapsed since the sink's first event. *)
+
+(** In-memory ring buffer, the sink used by tests and [detcheck]. *)
+module Memory : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Ring of at most [capacity] (default 65536) most-recent events.
+      Older events are dropped once full — ample for test-sized runs,
+      but note that an overflowing ring is no longer a faithful prefix
+      of the run. *)
+
+  val sink : t -> sink
+  (** [close] is a no-op; the buffer stays readable. *)
+
+  val contents : t -> stamped list
+  (** Oldest first. *)
+
+  val dropped : t -> int
+  (** Number of events evicted due to capacity. *)
+
+  val clear : t -> unit
+end
+
+(** Line-oriented JSON encoding of stamped events: one flat object per
+    line, e.g.
+    [{"at_s":12.5,"ev":"round_begin","round":3,"window":64}].
+    Self-contained emitter and validating parser (no external JSON
+    dependency); [of_line (to_line s)] round-trips every event. *)
+module Jsonl : sig
+  val to_line : stamped -> string
+  (** Without the trailing newline. *)
+
+  val of_line : string -> (stamped, string) result
+  (** Parse and schema-check one line: must be a flat JSON object with
+      an [at_s] number, a known [ev] name, exactly that event's fields
+      with the right types, and nothing else. *)
+
+  val validate_line : string -> (unit, string) result
+
+  val load : string -> (stamped list, string) result
+  (** Read a trace file; the error names the first offending line. *)
+
+  val sink : out_channel -> sink
+  (** Write lines to a channel the caller owns; [close] only flushes. *)
+
+  val file : string -> sink
+  (** Open [path] for writing; [close] closes the file (idempotent). *)
+end

@@ -41,7 +41,13 @@ let test_checker_detects_divergence () =
         (fun ~policy:_ ~pool:_ ~static_id:_ ->
           incr counter;
           let d = D.fold_int D.seed !counter in
-          { Detcheck.sched_digest = d; output_digest = d; canonical_digest = d; commits = 1 });
+          {
+            Detcheck.sched_digest = d;
+            output_digest = d;
+            canonical_digest = d;
+            det_trace = D.to_hex d;
+            commits = 1;
+          });
     }
   in
   let report = Detcheck.check_invariance ~threads:[ 1; 2 ] case in

@@ -7,6 +7,8 @@ let () =
       ("workset", Test_workset.suite);
       ("runtime", Test_runtime.suite);
       ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
+      ("policy", Test_policy.suite);
       ("determinism", Test_determinism.suite);
       ("detcheck", Test_detcheck.suite);
       ("core-edge", Test_core_edge.suite);

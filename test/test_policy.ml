@@ -1,0 +1,109 @@
+(* Policy string grammar and Det_options constructors: round-trips of
+   the keyed det option block, reject cases, and setter validation. *)
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+module P = Galois.Policy
+module O = Galois.Policy.Det_options
+
+let roundtrip s =
+  match P.of_string s with
+  | Ok p -> P.to_string p
+  | Error e -> Alcotest.failf "%S rejected: %s" s e
+
+let test_roundtrips () =
+  check_string "serial" "serial" (roundtrip "serial");
+  check_string "nondet defaults to 1 thread" "nondet:1" (roundtrip "nondet");
+  check_string "nondet:8" "nondet:8" (roundtrip "nondet:8");
+  check_string "det defaults to 1 thread" "det:1" (roundtrip "det");
+  check_string "det:4" "det:4" (roundtrip "det:4");
+  check_string "default options collapse" "det:4" (roundtrip "det:4[]");
+  check_string "window=auto is the default" "det:4" (roundtrip "det:4[window=auto]");
+  check_string "full option block"
+    "det:8[window=64,spread=1,ratio=0.95,cont=off]"
+    (roundtrip "det:8[window=64,spread=1,ratio=0.95,cont=off]");
+  (* Key order is normalized to window,spread,ratio,cont,validate. *)
+  check_string "key order normalized"
+    "det:2[window=8,ratio=0.5,validate=on]"
+    (roundtrip "det:2[validate=on,ratio=0.5,window=8]");
+  (* to_string output parses back to the same policy. *)
+  let p = P.det 3 ~options:(O.make ~spread:4 ~continuation:false ()) in
+  (match P.of_string (P.to_string p) with
+  | Ok p' -> check_bool "of_string inverts to_string" true (p = p')
+  | Error e -> Alcotest.fail e)
+
+let reject s =
+  match P.of_string s with
+  | Error _ -> ()
+  | Ok p -> Alcotest.failf "%S accepted as %s" s (P.to_string p)
+
+let test_rejects () =
+  reject "";
+  reject "bogus";
+  reject "det:0";
+  reject "det:-1";
+  reject "nondet:zero";
+  reject "det:2[window=64";
+  (* unterminated block *)
+  reject "det:2[window=64]x";
+  (* trailing garbage *)
+  reject "det:2[window=0]";
+  reject "det:2[window=sixty]";
+  reject "det:2[spread=0]";
+  reject "det:2[ratio=0]";
+  reject "det:2[ratio=much]";
+  reject "det:2[cont=maybe]";
+  reject "det:2[pileup=3]";
+  (* unknown key *)
+  reject "det:2[window=8,window=8]";
+  (* duplicate key *)
+  reject "det:2[window=]";
+  reject "det:2[window]";
+  reject "serial[window=8]" (* options only make sense for det *)
+
+let test_make_and_setters () =
+  check_bool "make () is default" true (O.make () = O.default);
+  let o = O.make ~ratio:0.5 ~window:(Some 32) ~spread:1 ~continuation:false ~validate:true () in
+  check_bool "ratio" true (o.P.target_ratio = 0.5);
+  check_bool "window" true (o.P.initial_window = Some 32);
+  check_bool "spread" true (o.P.spread = 1);
+  check_bool "continuation" true (not o.P.continuation);
+  check_bool "validate" true o.P.validate;
+  check_bool "setters compose" true
+    (O.default |> O.with_ratio 0.5 |> O.with_window (Some 32) |> O.with_spread 1
+    |> O.with_continuation false |> O.with_validate true
+    = o);
+  check_bool "with_window None restores auto" true
+    ((o |> O.with_window None).P.initial_window = None);
+  (* Ratios above 1 pin the window (ablation use) and are allowed. *)
+  check_bool "ratio > 1 allowed" true ((O.with_ratio 2.0 O.default).P.target_ratio = 2.0);
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check_bool "ratio 0 rejected" true (raises (fun () -> O.with_ratio 0.0 O.default));
+  check_bool "negative ratio rejected" true (raises (fun () -> O.with_ratio (-1.0) O.default));
+  check_bool "window 0 rejected" true (raises (fun () -> O.with_window (Some 0) O.default));
+  check_bool "spread 0 rejected" true (raises (fun () -> O.with_spread 0 O.default))
+
+let test_options_to_string () =
+  check_string "default is empty" "" (O.to_string O.default);
+  check_string "single key" "spread=1" (O.to_string (O.with_spread 1 O.default));
+  check_string "fixed order" "window=16,cont=off"
+    (O.to_string (O.default |> O.with_continuation false |> O.with_window (Some 16)));
+  (* Float ratios survive the 12-significant-digit rendering. *)
+  let o = O.with_ratio 0.925 O.default in
+  match O.of_string (O.to_string o) with
+  | Ok o' -> check_bool "float round-trip" true (o'.P.target_ratio = 0.925)
+  | Error e -> Alcotest.fail e
+
+let test_grammar_and_pp () =
+  check_string "grammar string" "serial | nondet[:T] | det[:T][k=v,...]" P.grammar;
+  check_string "pp agrees with to_string" (P.to_string (P.det 2)) (Fmt.str "%a" P.pp (P.det 2))
+
+let suite =
+  [
+    Alcotest.test_case "policy string round-trips" `Quick test_roundtrips;
+    Alcotest.test_case "policy string rejects" `Quick test_rejects;
+    Alcotest.test_case "Det_options.make and setters" `Quick test_make_and_setters;
+    Alcotest.test_case "Det_options.to_string" `Quick test_options_to_string;
+    Alcotest.test_case "grammar and pp" `Quick test_grammar_and_pp;
+  ]

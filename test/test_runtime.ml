@@ -218,6 +218,127 @@ let test_recording_nondet () =
       check_int "recorded commits" n committed
   | _ -> Alcotest.fail "expected flat schedule"
 
+(* --- the Run builder facade and its trace capture. *)
+
+let test_run_builder_equivalent () =
+  (* The builder and the for_each alias run the same program the same
+     way. *)
+  let via_builder =
+    let b = make_buckets 7 in
+    Galois.Run.make ~operator:(bucket_operator b 7) (Array.init 100 Fun.id)
+    |> Galois.Run.policy (Galois.Policy.det 2)
+    |> Galois.Run.exec
+  in
+  let via_alias =
+    let b = make_buckets 7 in
+    Galois.Runtime.for_each ~policy:(Galois.Policy.det 2)
+      ~operator:(bucket_operator b 7)
+      (Array.init 100 Fun.id)
+  in
+  check_int "same commits" via_alias.stats.commits via_builder.stats.commits;
+  check_int "same rounds" via_alias.stats.rounds via_builder.stats.rounds;
+  Alcotest.(check bool)
+    "same digest" true
+    (Galois.Trace_digest.equal via_alias.stats.digest via_builder.stats.digest)
+
+let test_run_trace_capture () =
+  let b = make_buckets 5 in
+  let report =
+    Galois.Run.make ~operator:(bucket_operator b 5) (Array.init 80 Fun.id)
+    |> Galois.Run.policy (Galois.Policy.det 3)
+    |> Galois.Run.trace
+    |> Galois.Run.exec
+  in
+  match report.trace with
+  | None -> Alcotest.fail "trace requested but absent"
+  | Some events ->
+      Alcotest.(check bool) "events captured" true (List.length events > 4);
+      (match List.hd events with
+      | { Obs.event = Obs.Run_begin { threads; tasks; _ }; _ } ->
+          check_int "run_begin threads" 3 threads;
+          check_int "run_begin tasks" 80 tasks
+      | _ -> Alcotest.fail "first event must be Run_begin");
+      (match List.nth events (List.length events - 1) with
+      | { Obs.event = Obs.Run_end { commits; rounds; _ }; _ } ->
+          check_int "run_end commits" report.stats.commits commits;
+          check_int "run_end rounds" report.stats.rounds rounds
+      | _ -> Alcotest.fail "last event must be Run_end");
+      (* Timestamps are monotone within a run. *)
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a.Obs.at_s <= b.Obs.at_s && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps monotone" true (monotone events)
+
+let test_no_trace_by_default () =
+  let b = make_buckets 5 in
+  let report =
+    Galois.Run.make ~operator:(bucket_operator b 5) (Array.init 20 Fun.id)
+    |> Galois.Run.policy (Galois.Policy.det 2)
+    |> Galois.Run.exec
+  in
+  Alcotest.(check bool) "no trace" true (report.trace = None);
+  Alcotest.(check bool) "no schedule" true (report.schedule = None)
+
+let test_phase_times_sum_to_wall_time () =
+  List.iter
+    (fun policy ->
+      let b = make_buckets 7 in
+      let report =
+        Galois.Run.make ~operator:(bucket_operator b 7) (Array.init 300 Fun.id)
+        |> Galois.Run.policy policy
+        |> Galois.Run.exec
+      in
+      let total = Galois.Stats.phase_total report.stats.phases in
+      Alcotest.(check (float 1e-6))
+        (Fmt.str "phase total tracks time_s under %a" Galois.Policy.pp policy)
+        report.stats.time_s total)
+    [ Galois.Policy.serial; Galois.Policy.nondet 2; Galois.Policy.det 2 ]
+
+let test_trace_stream_thread_invariant () =
+  (* The deterministic subset of the event stream is byte-identical for
+     any thread count — the per-run view of the paper's portability
+     claim (detcheck sweeps the same property over its whole lattice). *)
+  let trace_at t =
+    let b = make_buckets 11 in
+    let report =
+      Galois.Run.make ~operator:(bucket_operator b 11) (Array.init 200 Fun.id)
+      |> Galois.Run.policy (Galois.Policy.det t)
+      |> Galois.Run.trace
+      |> Galois.Run.exec
+    in
+    Obs.deterministic_lines (Option.value ~default:[] report.trace)
+  in
+  let reference = trace_at 1 in
+  Alcotest.(check bool) "stream non-empty" true (String.length reference > 0);
+  List.iter
+    (fun t ->
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical at %d threads" t)
+        reference (trace_at t))
+    [ 2; 4; 8 ]
+
+let test_sinks_receive_and_survive () =
+  (* Two sinks both see the bracketed stream; exec never closes them. *)
+  let closed = ref false in
+  let mem = Obs.Memory.create () in
+  let counting = ref 0 in
+  let probe =
+    { Obs.emit = (fun _ -> incr counting); close = (fun () -> closed := true) }
+  in
+  let b = make_buckets 5 in
+  let _ =
+    Galois.Run.make ~operator:(bucket_operator b 5) (Array.init 30 Fun.id)
+    |> Galois.Run.policy (Galois.Policy.det 2)
+    |> Galois.Run.sink (Obs.Memory.sink mem)
+    |> Galois.Run.sink probe
+    |> Galois.Run.exec
+  in
+  let n = List.length (Obs.Memory.contents mem) in
+  Alcotest.(check bool) "memory sink saw events" true (n > 2);
+  check_int "both sinks see every event" n !counting;
+  Alcotest.(check bool) "user sinks not closed" false !closed
+
 (* --- policy parsing round-trips. *)
 
 let test_policy_parsing () =
@@ -255,5 +376,13 @@ let suite =
     Alcotest.test_case "static ids deduplicate pushes" `Quick test_static_id_dedup;
     Alcotest.test_case "det schedule recording" `Quick test_recording;
     Alcotest.test_case "nondet schedule recording" `Quick test_recording_nondet;
+    Alcotest.test_case "Run builder matches for_each" `Quick test_run_builder_equivalent;
+    Alcotest.test_case "Run trace capture brackets the run" `Quick test_run_trace_capture;
+    Alcotest.test_case "no trace or schedule by default" `Quick test_no_trace_by_default;
+    Alcotest.test_case "phase times sum to wall time" `Quick test_phase_times_sum_to_wall_time;
+    Alcotest.test_case "deterministic trace stream thread-invariant" `Quick
+      test_trace_stream_thread_invariant;
+    Alcotest.test_case "sinks receive events and are not closed" `Quick
+      test_sinks_receive_and_survive;
     Alcotest.test_case "policy parsing" `Quick test_policy_parsing;
   ]

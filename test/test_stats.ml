@@ -21,7 +21,8 @@ let test_zero_is_empty () =
   check_int "rounds" 0 z.rounds;
   check_int "generations" 0 z.generations;
   check_bool "digest absent" true (D.is_absent z.digest);
-  check_float "time" 0.0 z.time_s
+  check_float "time" 0.0 z.time_s;
+  check_float "no phase time" 0.0 (Stats.phase_total z.phases)
 
 let test_zero_commit_abort_ratio () =
   (* No attempts at all: the ratio must be 0, not NaN. *)
@@ -95,6 +96,41 @@ let test_digest_monoid () =
   check_bool "seed not absent" false (D.is_absent D.seed);
   Alcotest.(check string) "hex format" "cbf29ce484222325" (D.to_hex D.seed)
 
+let test_phase_breakdown () =
+  (* The common case: inspect + select measured, the remainder booked
+     under other; the three slices sum to the wall time exactly. *)
+  let p = Stats.breakdown ~inspect_s:0.3 ~select_s:0.5 ~time_s:1.0 in
+  check_float "inspect" 0.3 p.Stats.inspect_s;
+  check_float "select" 0.5 p.Stats.select_s;
+  check_float "other" 0.2 p.Stats.other_s;
+  check_float "sums to wall time" 1.0 (Stats.phase_total p);
+  (* Measured phases can overshoot a coarse wall time by timer skew; the
+     remainder clamps at 0 rather than going negative. *)
+  let over = Stats.breakdown ~inspect_s:0.8 ~select_s:0.5 ~time_s:1.0 in
+  check_float "other clamps" 0.0 over.Stats.other_s;
+  (* Negative inputs are clamped away. *)
+  let neg = Stats.breakdown ~inspect_s:(-1.0) ~select_s:0.25 ~time_s:0.5 in
+  check_float "negative inspect clamps" 0.0 neg.Stats.inspect_s;
+  check_float "remainder still non-negative" 0.25 neg.Stats.other_s
+
+let test_phases_add_and_merge () =
+  let mk phases time_s =
+    Stats.merge ~phases ~threads:1 ~rounds:1 ~generations:1 ~time_s [| Stats.make_worker () |]
+  in
+  let a = mk (Stats.breakdown ~inspect_s:0.1 ~select_s:0.2 ~time_s:0.4) 0.4 in
+  let b = mk (Stats.breakdown ~inspect_s:0.3 ~select_s:0.1 ~time_s:0.6) 0.6 in
+  let s = Stats.add a b in
+  check_float "inspect sums" 0.4 s.phases.Stats.inspect_s;
+  check_float "select sums" 0.3 s.phases.Stats.select_s;
+  check_float "phase total tracks time" s.time_s (Stats.phase_total s.phases);
+  (* merge without ~phases books everything under other, keeping the
+     total consistent. *)
+  let plain =
+    Stats.merge ~threads:1 ~rounds:1 ~generations:1 ~time_s:0.7 [| Stats.make_worker () |]
+  in
+  check_float "default books under other" 0.7 plain.phases.Stats.other_s;
+  check_float "default total" 0.7 (Stats.phase_total plain.phases)
+
 let test_add_chains_digests () =
   let mk d =
     Stats.merge ~digest:d ~threads:1 ~rounds:1 ~generations:1 ~time_s:0.0
@@ -116,6 +152,8 @@ let suite =
     Alcotest.test_case "zero neutral for add" `Quick test_zero_is_neutral_for_add;
     Alcotest.test_case "add across thread counts" `Quick test_add_heterogeneous_threads;
     Alcotest.test_case "merge sums worker counters" `Quick test_merge_sums_workers;
+    Alcotest.test_case "phase breakdown clamps and sums" `Quick test_phase_breakdown;
+    Alcotest.test_case "phases add and merge" `Quick test_phases_add_and_merge;
     Alcotest.test_case "trace digest monoid" `Quick test_digest_monoid;
     Alcotest.test_case "add chains digests" `Quick test_add_chains_digests;
   ]
