@@ -1,0 +1,256 @@
+(* The application bench harness: BENCH_<app>.json emission and
+   baseline comparison.
+
+   For each app it does two passes over a freshly generated input:
+
+   - a timing pass under det:T (T = --threads) measured on the
+     monotonic clock, providing wall_s and the per-phase breakdown from
+     [Stats.t.phases];
+
+   - an allocation pass under det:1 bracketed by [Gc.full_major] +
+     [Gc.quick_stat] deltas. With a single domain the OCaml 5 GC
+     counters are exact for the whole pipeline, and determinism makes
+     the det:1 schedule identical to the det:T one, so "minor words per
+     committed task" measured here is the DIG scheduler's real per-task
+     allocation bill.
+
+   The two passes must agree on the schedule digest — a free
+   determinism assertion on every bench run.
+
+   Modes:
+     bench_apps                          write BENCH_<app>.json to .
+     bench_apps --out DIR                ... to DIR
+     bench_apps --compare DIR            also diff against records in DIR
+     bench_apps --scale tiny|small       input sizes (default small)
+     bench_apps --threads T              timing-pass threads (default 4)
+     bench_apps --apps bfs,sssp,...      subset (default all four)
+     bench_apps --smoke                  tiny inputs, then re-load and
+                                         validate every emitted file
+                                         (JSON parses, phases sum to
+                                         wall) — the @bench-smoke CI
+                                         gate. *)
+
+type app_case = {
+  name : string;
+  size : int;
+  (* Build the input (unmeasured) and return the closure that runs the
+     Galois program under a policy. A fresh prepare per pass: dmr
+     mutates its mesh in place. *)
+  prepare : seed:int -> size:int -> (Galois.Policy.t -> Galois.Runtime.report);
+}
+
+let seed = 2014
+
+let cases ~tiny =
+  let sz small t = if tiny then t else small in
+  [
+    {
+      name = "bfs";
+      size = sz 20_000 600;
+      prepare =
+        (fun ~seed ~size ->
+          let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
+          fun policy -> snd (Apps.Bfs.galois ~policy g ~source:0));
+    };
+    {
+      name = "sssp";
+      size = sz 10_000 500;
+      prepare =
+        (fun ~seed ~size ->
+          let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
+          let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
+          fun policy -> snd (Apps.Sssp.galois ~policy g w ~source:0));
+    };
+    {
+      name = "boruvka";
+      size = sz 1_000 400;
+      prepare =
+        (fun ~seed ~size ->
+          let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:4 ()) in
+          let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
+          fun policy -> snd (Apps.Boruvka.galois ~policy g w));
+    };
+    {
+      name = "dmr";
+      size = sz 1_500 150;
+      prepare =
+        (fun ~seed ~size ->
+          let pts = Geometry.Point.random_unit_square ~seed size in
+          let mesh = Apps.Dt.serial pts in
+          fun policy -> Apps.Dmr.galois ~policy mesh);
+    };
+  ]
+
+let bench_case ~threads { name; size; prepare } =
+  (* Each app run gets its own lid namespace, so location ids in debug
+     output are reproducible run-to-run. *)
+  Galois.Lock.reset_lids ();
+  (* Timing pass. *)
+  let exec = prepare ~seed ~size in
+  let timing_policy = Galois.Policy.det threads in
+  let t0 = Galois.Clock.now_s () in
+  let timing = exec timing_policy in
+  let wall_s = Galois.Clock.elapsed_s t0 in
+  (* Allocation pass: single domain, GC deltas around the run only. *)
+  Galois.Lock.reset_lids ();
+  let exec1 = prepare ~seed ~size in
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let alloc = exec1 (Galois.Policy.det 1) in
+  let g1 = Gc.quick_stat () in
+  let stats = timing.Galois.Runtime.stats in
+  let astats = alloc.Galois.Runtime.stats in
+  if not (Galois.Trace_digest.equal stats.digest astats.digest) then
+    Fmt.failwith "%s: det:%d and det:1 disagree on the schedule digest (%a vs %a)"
+      name threads Galois.Trace_digest.pp stats.digest Galois.Trace_digest.pp
+      astats.digest;
+  let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
+  {
+    Analysis.Bench_record.app = name;
+    policy = Galois.Policy.to_string timing_policy;
+    size;
+    seed;
+    wall_s;
+    inspect_s = stats.phases.Galois.Stats.inspect_s;
+    select_s = stats.phases.select_s;
+    (* other_s absorbs builder overhead outside the scheduler proper so
+       the three phases sum to the harness wall time. *)
+    other_s = wall_s -. stats.phases.inspect_s -. stats.phases.select_s;
+    commits = stats.commits;
+    aborts = stats.aborts;
+    rounds = stats.rounds;
+    generations = stats.generations;
+    work_units = stats.work_units;
+    minor_words;
+    promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    minor_words_per_commit =
+      Analysis.Bench_record.minor_words_per_commit ~minor_words
+        ~commits:astats.commits;
+    digest = Galois.Trace_digest.to_hex stats.digest;
+  }
+
+let record_path dir app = Filename.concat dir (Printf.sprintf "BENCH_%s.json" app)
+
+let validate_file path =
+  match Analysis.Bench_record.load path with
+  | Error msg -> Error msg
+  | Ok r ->
+      if not (Analysis.Bench_record.phases_consistent r) then
+        Error
+          (Printf.sprintf "%s: phases do not sum to wall time (%g + %g + %g <> %g)"
+             path r.inspect_s r.select_s r.other_s r.wall_s)
+      else if r.commits <= 0 then Error (Printf.sprintf "%s: no commits recorded" path)
+      else Ok r
+
+let compare_against ~dir records =
+  let ok = ref true in
+  List.iter
+    (fun (r : Analysis.Bench_record.t) ->
+      let path = record_path dir r.app in
+      match Analysis.Bench_record.load path with
+      | Error msg -> Fmt.pr "@.%s: no baseline (%s)@." r.app msg
+      | Ok baseline ->
+          Fmt.pr "@.%s vs baseline %s:@." r.app path;
+          List.iter
+            (fun d -> Fmt.pr "  %a@." Analysis.Bench_record.pp_delta d)
+            (Analysis.Bench_record.compare_to ~baseline r);
+          let alloc =
+            List.find
+              (fun (d : Analysis.Bench_record.delta) ->
+                d.metric = "minor_words_per_commit")
+              (Analysis.Bench_record.compare_to ~baseline r)
+          in
+          Fmt.pr "  minor words/commit: %.1f -> %.1f (%s%.1f%%)@." alloc.baseline
+            alloc.current
+            (if alloc.change_pct <= 0.0 then "" else "+")
+            alloc.change_pct;
+          if alloc.change_pct > 10.0 then begin
+            Fmt.pr "  REGRESSION: minor words/commit grew more than 10%%@.";
+            ok := false
+          end)
+    records;
+  !ok
+
+let () =
+  let out = ref "." and scale = ref "small" and threads = ref 4 in
+  let apps = ref [ "bfs"; "sssp"; "boruvka"; "dmr" ] in
+  let compare_dir = ref None and smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: d :: rest ->
+        out := d;
+        parse rest
+    | "--scale" :: s :: rest ->
+        scale := s;
+        parse rest
+    | "--threads" :: t :: rest ->
+        threads := int_of_string t;
+        parse rest
+    | "--apps" :: a :: rest ->
+        apps := String.split_on_char ',' a;
+        parse rest
+    | "--compare" :: d :: rest ->
+        compare_dir := Some d;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        scale := "tiny";
+        parse rest
+    | arg :: _ -> Fmt.failwith "bench_apps: unknown argument %S" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let tiny =
+    match !scale with
+    | "tiny" -> true
+    | "small" -> false
+    | s -> Fmt.failwith "bench_apps: unknown scale %S (tiny|small)" s
+  in
+  (try Unix.mkdir !out 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (e, _, _) ->
+      Fmt.failwith "bench_apps: cannot create %s: %s" !out (Unix.error_message e));
+  let selected =
+    List.map
+      (fun name ->
+        match List.find_opt (fun c -> c.name = name) (cases ~tiny) with
+        | Some c -> c
+        | None -> Fmt.failwith "bench_apps: unknown app %S" name)
+      !apps
+  in
+  let records =
+    List.map
+      (fun c ->
+        Fmt.pr "bench %-8s n=%-6d det:%d ... @?" c.name c.size !threads;
+        let r = bench_case ~threads:!threads c in
+        Fmt.pr "wall=%.4fs commits=%d rounds=%d alloc/commit=%.1f@." r.wall_s
+          r.commits r.rounds r.minor_words_per_commit;
+        Analysis.Bench_record.save (record_path !out c.name) r;
+        r)
+      selected
+  in
+  let failures = ref 0 in
+  if !smoke then
+    List.iter
+      (fun (r : Analysis.Bench_record.t) ->
+        match validate_file (record_path !out r.app) with
+        | Ok loaded ->
+            (* The loaded record must round-trip to the same JSON. *)
+            if
+              Analysis.Bench_record.to_json loaded
+              <> Analysis.Bench_record.to_json r
+            then begin
+              Fmt.epr "%s: JSON round-trip mismatch@." r.app;
+              incr failures
+            end
+            else Fmt.pr "validated %s@." (record_path !out r.app)
+        | Error msg ->
+            Fmt.epr "%s@." msg;
+            incr failures)
+      records;
+  (match !compare_dir with
+  | None -> ()
+  | Some dir -> if not (compare_against ~dir records) then incr failures);
+  if !failures > 0 then exit 1

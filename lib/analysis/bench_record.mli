@@ -1,0 +1,65 @@
+(** Machine-readable benchmark records ([BENCH_<app>.json]).
+
+    One flat JSON object per (app, input) pair: wall time, the DIG
+    scheduler's per-phase breakdown, commit/round counts, abstract
+    work, and GC allocation deltas. The bench harness
+    ([bench/bench_apps.ml]) emits these; the committed files under
+    [bench/baseline/] anchor the performance trajectory and the
+    comparison mode reports deltas against them. *)
+
+type t = {
+  app : string;
+  policy : string;  (** policy of the timing run, e.g. ["det:4"] *)
+  size : int;
+  seed : int;
+  wall_s : float;
+  inspect_s : float;
+  select_s : float;
+  other_s : float;
+  commits : int;
+  aborts : int;
+  rounds : int;
+  generations : int;
+  work_units : int;  (** abstract (simmachine cost-model) work *)
+  minor_words : float;
+      (** [Gc.quick_stat] delta of a single-domain ([det:1]) run, where
+          the counters are exact for the whole pipeline *)
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  minor_words_per_commit : float;
+  digest : string;  (** schedule digest (hex); ["-"] when absent *)
+}
+
+val minor_words_per_commit : minor_words:float -> commits:int -> float
+(** [minor_words /. commits], 0 when no commits. *)
+
+val phases_consistent : t -> bool
+(** [inspect_s + select_s + other_s] equals [wall_s] up to float noise —
+    the invariant @bench-smoke enforces on every emitted file. *)
+
+val to_json : t -> string
+(** Pretty-printed flat JSON object (trailing newline included). *)
+
+val of_json : string -> (t, string) result
+(** Validating parse of [to_json] output: every field present with the
+    right type, nothing extra. *)
+
+val load : string -> (t, string) result
+val save : string -> t -> unit
+
+(** {2 Baseline comparison} *)
+
+type delta = {
+  metric : string;
+  baseline : float;
+  current : float;
+  change_pct : float;  (** [(current - baseline) / baseline * 100] *)
+}
+
+val compare_to : baseline:t -> t -> delta list
+(** Deltas for the tracked metrics (wall time, phase times, minor
+    allocation, minor words per committed task), in that order. *)
+
+val pp_delta : Format.formatter -> delta -> unit

@@ -1,0 +1,20 @@
+(* Monotonic time for duration measurement.
+
+   Phase breakdowns and wall-clock figures were historically derived
+   from [Unix.gettimeofday], which is wall time: an NTP step mid-round
+   makes a phase duration negative (and [Stats.breakdown] silently
+   clamps it to zero, corrupting the split). All durations in the
+   schedulers and the bench harness are now differences of this
+   monotonic clock; [Unix.gettimeofday] remains only for absolute event
+   timestamps ([Obs.at_s]), where wall time is the point.
+
+   The clock itself is bechamel's CLOCK_MONOTONIC stub — nanoseconds
+   from an arbitrary origin, never stepping backwards. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+
+(* Seconds elapsed since a [now_s] reading. Non-negative by
+   construction (monotonicity), modulo float rounding at the origin. *)
+let elapsed_s since = Float.max 0.0 (now_s () -. since)

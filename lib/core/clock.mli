@@ -1,0 +1,17 @@
+(** Monotonic clock for duration measurement.
+
+    All scheduler phase timings and bench wall times are computed as
+    differences of this clock, so they cannot go negative under NTP
+    steps. Absolute timestamps ([Obs.at_s]) stay on
+    [Unix.gettimeofday]; only durations are derived monotonically. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on CLOCK_MONOTONIC; origin is arbitrary (comparable
+    only within one process). *)
+
+val now_s : unit -> float
+(** [now_ns] in seconds. *)
+
+val elapsed_s : float -> float
+(** [elapsed_s t0] is seconds since the [now_s] reading [t0], clamped
+    to be non-negative. *)

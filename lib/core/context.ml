@@ -11,7 +11,14 @@
    - [Inspect]   deterministic inspection (Fig. 2 line 14): acquire =
                  writeMarksMax; the failsafe point aborts the prefix.
    - [Commit]    deterministic select-and-execute (Fig. 3): acquire =
-                 verify the mark still carries our id. *)
+                 verify the mark still carries our id.
+
+   A context is per-worker scratch state, reused across every task the
+   worker runs: the neighborhood and push buffers are growable arrays
+   whose capacity survives [reset], so a warmed-up context executes
+   tasks without allocating. (The buffers keep references to the last
+   task's locks/items until overwritten — bounded by one task's
+   footprint, and the scheduler holds those objects anyway.) *)
 
 exception Conflict
 (* Raised to the scheduler when a task loses a location. *)
@@ -29,11 +36,11 @@ type ('item, 'state) t = {
   mutable phase : phase;
   mutable task_id : int;
   mutable stats : Stats.worker;
-  mutable neighborhood : Lock.t list;  (* reverse acquisition order *)
+  mutable neighborhood : Lock.t array;  (* first [neighborhood_size] valid *)
   mutable neighborhood_size : int;
   mutable past_failsafe : bool;
   mutable saved : 'state option;
-  mutable pushed : 'item list;  (* reverse push order *)
+  mutable pushed : 'item array;  (* first [pushed_count] valid, push order *)
   mutable pushed_count : int;
   mutable work_units : int;
   mutable on_defeat : int -> unit;
@@ -46,11 +53,11 @@ let create () =
     phase = Direct;
     task_id = 1;
     stats = Stats.make_worker ();
-    neighborhood = [];
+    neighborhood = [||];
     neighborhood_size = 0;
     past_failsafe = false;
     saved = None;
-    pushed = [];
+    pushed = [||];
     pushed_count = 0;
     work_units = 0;
     on_defeat = no_defeat;
@@ -59,14 +66,25 @@ let create () =
 let reset t ~phase ~task_id ~saved =
   t.phase <- phase;
   t.task_id <- task_id;
-  t.neighborhood <- [];
   t.neighborhood_size <- 0;
   t.past_failsafe <- false;
   t.saved <- saved;
-  t.pushed <- [];
   t.pushed_count <- 0;
   t.work_units <- 0;
   t.on_defeat <- no_defeat
+
+(* Append to the neighborhood scratch, doubling capacity as needed; the
+   appended lock doubles as the [Array.make] filler so an empty buffer
+   needs no dummy element. *)
+let add_lock t lock =
+  let n = t.neighborhood_size in
+  if n = Array.length t.neighborhood then begin
+    let fresh = Array.make (max 8 (2 * n)) lock in
+    Array.blit t.neighborhood 0 fresh 0 n;
+    t.neighborhood <- fresh
+  end;
+  t.neighborhood.(n) <- lock;
+  t.neighborhood_size <- n + 1
 
 let acquire t lock =
   if t.past_failsafe then raise Not_cautious;
@@ -74,15 +92,10 @@ let acquire t lock =
   match t.phase with
   | Direct ->
       t.stats.atomic_updates <- t.stats.atomic_updates + 1;
-      if Lock.try_claim lock t.task_id then begin
-        t.neighborhood <- lock :: t.neighborhood;
-        t.neighborhood_size <- t.neighborhood_size + 1
-      end
-      else raise Conflict
+      if Lock.try_claim lock t.task_id then add_lock t lock else raise Conflict
   | Inspect ->
       t.stats.atomic_updates <- t.stats.atomic_updates + 1;
-      t.neighborhood <- lock :: t.neighborhood;
-      t.neighborhood_size <- t.neighborhood_size + 1;
+      add_lock t lock;
       (match Lock.claim_max lock t.task_id with
       | `Won 0 -> ()
       | `Won displaced -> t.on_defeat displaced
@@ -108,8 +121,7 @@ let register_new t lock =
       t.stats.atomic_updates <- t.stats.atomic_updates + 1;
       if not (Lock.try_claim lock t.task_id) then
         invalid_arg "Context.register_new: lock is not fresh";
-      t.neighborhood <- lock :: t.neighborhood;
-      t.neighborhood_size <- t.neighborhood_size + 1
+      add_lock t lock
   | Inspect ->
       (* Object creation is a write; writes may not precede the failsafe
          point. *)
@@ -123,8 +135,14 @@ let failsafe t =
   end
 
 let push t item =
-  t.pushed <- item :: t.pushed;
-  t.pushed_count <- t.pushed_count + 1
+  let n = t.pushed_count in
+  if n = Array.length t.pushed then begin
+    let fresh = Array.make (max 8 (2 * n)) item in
+    Array.blit t.pushed 0 fresh 0 n;
+    t.pushed <- fresh
+  end;
+  t.pushed.(n) <- item;
+  t.pushed_count <- n + 1
 
 let save t state = t.saved <- Some state
 
@@ -138,26 +156,46 @@ let task_id t = t.task_id
 
 (* Internal accessors for schedulers. *)
 
-let neighborhood_rev t = t.neighborhood
-
 let neighborhood_array t =
+  Array.init t.neighborhood_size (fun i -> t.neighborhood.(i))
+
+(* Copy the neighborhood into [prev] when it fits, else into a fresh
+   array: a retried task hands its previous round's array back in and
+   steady-state rounds stop allocating. Slots beyond the count are
+   stale; callers must use [neighborhood_count], not the array
+   length. *)
+let neighborhood_into t prev =
   let n = t.neighborhood_size in
-  match t.neighborhood with
-  | [] -> [||]
-  | first :: _ ->
-      let arr = Array.make n first in
-      let rec fill i = function
-        | [] -> ()
-        | l :: rest ->
-            arr.(i) <- l;
-            fill (i - 1) rest
-      in
-      fill (n - 1) t.neighborhood;
-      arr
+  if n = 0 then prev
+  else begin
+    let dst =
+      if Array.length prev >= n then prev
+      else Array.make (max 8 n) t.neighborhood.(0)
+    in
+    Array.blit t.neighborhood 0 dst 0 n;
+    dst
+  end
 
 let neighborhood_count t = t.neighborhood_size
 
-let pushed_rev t = t.pushed
+let pushed_get t i =
+  if i < 0 || i >= t.pushed_count then invalid_arg "Context.pushed_get";
+  t.pushed.(i)
+
+let pushed_list t = List.init t.pushed_count (fun i -> t.pushed.(i))
+
+(* Same contract as [neighborhood_into], for the push buffer. *)
+let pushed_into t prev =
+  let n = t.pushed_count in
+  if n = 0 then prev
+  else begin
+    let dst =
+      if Array.length prev >= n then prev else Array.make (max 8 n) t.pushed.(0)
+    in
+    Array.blit t.pushed 0 dst 0 n;
+    dst
+  end
+
 let pushed_count t = t.pushed_count
 let work_units t = t.work_units
 let reached_failsafe t = t.past_failsafe
@@ -165,4 +203,6 @@ let set_on_defeat t f = t.on_defeat <- f
 let set_stats t stats = t.stats <- stats
 
 let release_all t =
-  List.iter (fun l -> Lock.release l t.task_id) t.neighborhood
+  for i = 0 to t.neighborhood_size - 1 do
+    Lock.release t.neighborhood.(i) t.task_id
+  done

@@ -65,14 +65,35 @@ val task_id : (_, _) t -> int
 (** {2 Scheduler internals}
 
     Everything below is used by the schedulers in this library and is not
-    part of the application-facing API. *)
+    part of the application-facing API. A context is per-worker scratch:
+    its neighborhood and push buffers keep their capacity across
+    {!reset}, so a warmed-up worker runs tasks without allocating. *)
 
 val create : unit -> ('item, 'state) t
 val reset : ('item, 'state) t -> phase:phase -> task_id:int -> saved:'state option -> unit
-val neighborhood_rev : (_, _) t -> Lock.t list
+
 val neighborhood_array : (_, _) t -> Lock.t array
+(** Fresh array of the acquired locks, in acquisition order. *)
+
+val neighborhood_into : (_, _) t -> Lock.t array -> Lock.t array
+(** Copy the acquired locks (acquisition order) into the given array if
+    it is large enough, else into a fresh one; returns whichever was
+    filled. Entries beyond {!neighborhood_count} are stale — callers
+    must pair the array with the count, not [Array.length]. *)
+
 val neighborhood_count : (_, _) t -> int
-val pushed_rev : ('item, _) t -> 'item list
+
+val pushed_get : ('item, _) t -> int -> 'item
+(** [pushed_get t i] is the [i]-th pushed item in push order,
+    [0 <= i < pushed_count t]. *)
+
+val pushed_list : ('item, _) t -> 'item list
+(** Pushed items in push order (allocates; for the one-shot
+    schedulers). *)
+
+val pushed_into : ('item, _) t -> 'item array -> 'item array
+(** Same contract as {!neighborhood_into}, for the pushed items. *)
+
 val pushed_count : (_, _) t -> int
 val work_units : (_, _) t -> int
 val reached_failsafe : (_, _) t -> bool

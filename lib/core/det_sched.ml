@@ -16,8 +16,8 @@
                     id" (the flag is set either by the task that displaced
                     our mark, or by ourselves when we observe a higher
                     mark; marks only grow within a round). Committed
-                    tasks run their write phase; failed tasks return to
-                    [next] ahead of untried tasks, preserving id order.
+                    tasks run their write phase; failed tasks keep their
+                    place ahead of untried tasks, preserving id order.
                     All tasks then clear their surviving marks.
 
    Determinism argument, in code terms: the window contents are a prefix
@@ -27,7 +27,16 @@
    write phases commute; and children ids come from a lexicographic
    (parent id, birth index) sort, independent of which worker ran what.
    The window size for the next round depends only on the (deterministic)
-   commit count — the paper's parameterless adaptive windowing. *)
+   commit count — the paper's parameterless adaptive windowing.
+
+   Steady-state rounds are allocation-free: the pending set is an
+   in-place [Pending] deque over the generation array (no per-round
+   window/remainder lists), the defeat table is a flat array indexed by
+   [id - generation base] (generation ids are dense) with round stamps
+   instead of per-round clearing, and tasks reuse their neighborhood /
+   child arrays across retries via the [Context] scratch buffers. The
+   schedule itself is bit-for-bit the one the original list-based
+   implementation produced — test/test_digest_fixture.ml pins it. *)
 
 type ('item, 'state) task = {
   item : 'item;
@@ -37,11 +46,14 @@ type ('item, 'state) task = {
      racy write is benign; the pool barrier publishes it before the
      commit phase reads it. *)
   mutable alive : bool;
+  (* First [n_locks] entries are this round's neighborhood, in
+     acquisition order; capacity is reused across retries. *)
   mutable neighborhood : Lock.t array;
+  mutable n_locks : int;
   mutable saved : 'state option;
   mutable pure : bool;  (* inspect finished without reaching a failsafe *)
-  mutable pure_children : 'item list;  (* push order *)
-  mutable acquires : int;
+  mutable pure_children : 'item array;  (* first [n_pure_children], push order *)
+  mutable n_pure_children : int;
   mutable task_work : int;  (* inspect-phase (prefix) work units *)
   mutable commit_work : int;  (* commit-phase work units *)
 }
@@ -52,10 +64,11 @@ let make_task id item =
     id;
     alive = true;
     neighborhood = [||];
+    n_locks = 0;
     saved = None;
     pure = false;
-    pure_children = [];
-    acquires = 0;
+    pure_children = [||];
+    n_pure_children = 0;
     task_work = 0;
     commit_work = 0;
   }
@@ -81,11 +94,22 @@ let spread_permute spread arr =
     out
   end
 
+(* The parameterless window controller (§3.1): growth on a good round,
+   proportional shrink (with a floor) on a bad one. Exposed for the
+   property tests; must stay bit-identical to the original inline
+   computation — the adapted sizes feed the round-trace digest. *)
+let adapt_window ~target_ratio ~window ~committed ~w_use =
+  let ratio = float_of_int committed /. float_of_int w_use in
+  if ratio >= target_ratio then min (window * 2) (1 lsl 22)
+  else max 32 (int_of_float (float_of_int window *. ratio /. target_ratio) + 1)
+
 (* Deterministic id assignment (§3.2). Children are sorted by
    (parent id, birth index); ids are their ranks offset by a counter that
    grows monotonically across generations. With [static_id], ids come
    from the application's fixed task universe instead (§3.3, third
-   optimization) and duplicates collapse to a single task. *)
+   optimization) and duplicates collapse to a single task. Either way the
+   assigned ids are dense in [base, base + count) — the defeat table
+   below indexes on exactly that. *)
 let form_generation ~static_id ~spread ~next_id todo =
   match todo with
   | [] -> [||]
@@ -118,12 +142,18 @@ let form_generation ~static_id ~spread ~next_id todo =
           spread_permute spread
             (Array.mapi (fun i (_, _, item) -> make_task (base + i) item) arr))
 
+(* Guided chunk size for dynamic parallel iteration: aim for several
+   grabs per worker (cheap load balancing against uneven task costs)
+   without letting tiny windows degenerate into per-index contention on
+   the shared counter. *)
+let chunk_for ~threads n = max 4 (min 1024 (n / (threads * 8)))
+
 (* Chunked dynamic parallel iteration over [0, n). Assignment of indices
    to workers is timing-dependent; nothing the workers compute depends on
-   it. *)
-let par_iter pool ~threads n f =
+   it. Each grab bumps the grabbing worker's [chunks] counter. *)
+let par_iter pool ~threads ~workers n f =
   let counter = Atomic.make 0 in
-  let chunk = 8 in
+  let chunk = chunk_for ~threads n in
   Parallel.Domain_pool.run pool (fun w ->
       if w >= threads then ()
       else
@@ -131,10 +161,12 @@ let par_iter pool ~threads n f =
       while !continue_ do
         let start = Atomic.fetch_and_add counter chunk in
         if start >= n then continue_ := false
-        else
+        else begin
+          workers.(w).Stats.chunks <- workers.(w).Stats.chunks + 1;
           for i = start to min (start + chunk) n - 1 do
             f w i
           done
+        end
       done)
 
 let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id ~operator
@@ -142,9 +174,9 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
   let { Policy.target_ratio; initial_window; spread; continuation; validate } = options in
   (* All events are emitted from the sequential glue between parallel
      phases, so sinks never see concurrent calls. Every event field
-     except the [Phase_time]/[Worker_counters] ones is deterministic —
-     detcheck compares the rendered deterministic stream byte-for-byte
-     across thread counts. *)
+     except the [Phase_time]/[Chunk_sized]/[Worker_counters] ones is
+     deterministic — detcheck compares the rendered deterministic stream
+     byte-for-byte across thread counts. *)
   let tracing = sink != Obs.null in
   let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
   let inspect_s = ref 0.0 and select_s = ref 0.0 in
@@ -161,17 +193,26 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
         Context.set_stats ctx workers.(w);
         ctx)
   in
-  let defeat_map : (int, ('item, 'state) task) Hashtbl.t = Hashtbl.create 1024 in
-  let defeat id =
-    match Hashtbl.find_opt defeat_map id with
-    | Some t -> t.alive <- false
-    | None ->
-        (* Marks are cleared every round, so a displaced id must belong
-           to the current window. *)
-        assert false
-  in
   let rounds = ref 0 and generations = ref 0 in
   let next_id = ref 1 in
+  (* Defeat table: generation ids are dense in [gen_base, gen_base +
+     count), so [id - gen_base] indexes a flat array. Slots are stamped
+     with the round that registered them instead of being cleared —
+     [rounds] only grows, so a stale stamp can never match. Reads during
+     inspect race only with other reads; registration happens in the
+     sequential window setup. *)
+  let gen_base = ref 1 in
+  let slot_task = ref ([||] : ('item, 'state) task array) in
+  let slot_round = ref ([||] : int array) in
+  let defeat id =
+    let s = id - !gen_base in
+    if s >= 0 && s < Array.length !slot_round && !slot_round.(s) = !rounds then
+      !slot_task.(s).alive <- false
+    else
+      (* Marks are cleared every round, so a displaced id must belong
+         to the current window. *)
+      assert false
+  in
   let round_records = ref [] in
   (* Round-trace digest: every quantity folded below is deterministic by
      the argument in the header comment, so the digest is a pure function
@@ -185,51 +226,51 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
   (* Per-worker buffers of (parent id, birth index, item). *)
   let child_buffers = Array.make threads [] in
   let todo = ref (Array.to_list (Array.mapi (fun i item -> (0, i, item)) items)) in
+  let pending = Pending.create () in
   let window = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   while !todo <> [] do
     incr generations;
     let generation = form_generation ~static_id ~spread ~next_id !todo in
     todo := [];
-    digest := Trace_digest.fold_int !digest (Array.length generation);
+    let gen_len = Array.length generation in
+    gen_base := !next_id - gen_len;
+    if gen_len > Array.length !slot_round && gen_len > 0 then begin
+      slot_task := Array.make gen_len generation.(0);
+      slot_round := Array.make gen_len 0
+    end;
+    Pending.load pending generation;
+    digest := Trace_digest.fold_int !digest gen_len;
     if tracing then
-      emit
-        (Obs.Generation_begin
-           { generation = !generations; tasks = Array.length generation });
-    let next = ref (Array.to_list generation) in
-    let next_len = ref (Array.length generation) in
+      emit (Obs.Generation_begin { generation = !generations; tasks = gen_len });
     if !window = 0 then
-      window := (match initial_window with Some w -> max 1 w | None -> max 32 ((!next_len + 7) / 8));
-    while !next_len > 0 do
+      window := (match initial_window with Some w -> max 1 w | None -> max 32 ((gen_len + 7) / 8));
+    while Pending.length pending > 0 do
       incr rounds;
       (* --- calculateWindow / getWindowOfTasks --------------------- *)
-      let w_use = min !window !next_len in
-      let cur = Array.make w_use (List.hd !next) in
-      let rest = ref !next in
+      let w_use = min !window (Pending.length pending) in
       for i = 0 to w_use - 1 do
-        match !rest with
-        | t :: tl ->
-            cur.(i) <- t;
-            rest := tl
-        | [] -> assert false
+        let t = Pending.get pending i in
+        t.alive <- true;
+        t.pure <- false;
+        t.n_pure_children <- 0;
+        t.saved <- None;
+        t.commit_work <- 0;
+        let s = t.id - !gen_base in
+        !slot_task.(s) <- t;
+        !slot_round.(s) <- !rounds
       done;
-      let remainder = !rest in
-      Hashtbl.reset defeat_map;
-      Array.iter
-        (fun t ->
-          t.alive <- true;
-          t.pure <- false;
-          t.pure_children <- [];
-          t.saved <- None;
-          t.commit_work <- 0;
-          Hashtbl.add defeat_map t.id t)
-        cur;
-      if tracing then emit (Obs.Round_begin { round = !rounds; window = w_use });
+      if tracing then begin
+        emit (Obs.Round_begin { round = !rounds; window = w_use });
+        emit
+          (Obs.Chunk_sized
+             { round = !rounds; tasks = w_use; chunk = chunk_for ~threads w_use })
+      end;
       (* --- inspect ------------------------------------------------- *)
-      let t_inspect = Unix.gettimeofday () in
-      par_iter pool ~threads w_use (fun w i ->
+      let t_inspect = Clock.now_s () in
+      par_iter pool ~threads ~workers w_use (fun w i ->
           let ctx = contexts.(w) in
-          let t = cur.(i) in
+          let t = Pending.get pending i in
           Context.reset ctx ~phase:Inspect ~task_id:t.id ~saved:None;
           Context.set_on_defeat ctx defeat;
           workers.(w).inspections <- workers.(w).inspections + 1;
@@ -239,21 +280,22 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
                  execution — including pushes — happened now; commit just
                  publishes the children if selected. *)
               t.pure <- true;
-              t.pure_children <- List.rev (Context.pushed_rev ctx)
+              t.pure_children <- Context.pushed_into ctx t.pure_children;
+              t.n_pure_children <- Context.pushed_count ctx
           | exception Context.Failsafe_reached -> ());
-          t.neighborhood <- Context.neighborhood_array ctx;
-          t.acquires <- Context.neighborhood_count ctx;
+          t.neighborhood <- Context.neighborhood_into ctx t.neighborhood;
+          t.n_locks <- Context.neighborhood_count ctx;
           t.task_work <- Context.work_units ctx;
           if continuation then t.saved <- Context.saved ctx);
-      let dt_inspect = Unix.gettimeofday () -. t_inspect in
+      let dt_inspect = Clock.elapsed_s t_inspect in
       inspect_s := !inspect_s +. dt_inspect;
       if tracing then begin
         let marked = ref 0 and saved = ref 0 in
-        Array.iter
-          (fun t ->
-            marked := !marked + t.acquires;
-            if Option.is_some t.saved then incr saved)
-          cur;
+        for i = 0 to w_use - 1 do
+          let t = Pending.get pending i in
+          marked := !marked + t.n_locks;
+          if Option.is_some t.saved then incr saved
+        done;
         emit
           (Obs.Inspect_done
              { round = !rounds; marked = !marked; saved_continuations = !saved });
@@ -261,54 +303,64 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
           (Obs.Phase_time { round = !rounds; phase = Obs.Inspect; dt_s = dt_inspect })
       end;
       (* --- selectAndExec -------------------------------------------- *)
-      let t_select = Unix.gettimeofday () in
-      let committed = Array.make w_use false in
-      par_iter pool ~threads w_use (fun w i ->
+      let t_select = Clock.now_s () in
+      par_iter pool ~threads ~workers w_use (fun w i ->
           let stats = workers.(w) in
           let ctx = contexts.(w) in
-          let t = cur.(i) in
+          let t = Pending.get pending i in
           let selected = t.alive in
           if validate then begin
-            let marks_ok = Array.for_all (fun l -> Lock.holds l t.id) t.neighborhood in
-            if selected <> marks_ok then
+            let marks_ok = ref true in
+            for k = 0 to t.n_locks - 1 do
+              if not (Lock.holds t.neighborhood.(k) t.id) then marks_ok := false
+            done;
+            if selected <> !marks_ok then
               failwith "Det_sched: defeat flags disagree with neighborhood marks"
           end;
           if selected then begin
-            let children =
-              if t.pure then t.pure_children
-              else begin
-                Context.reset ctx ~phase:Commit ~task_id:t.id ~saved:t.saved;
-                operator ctx t.item;
-                stats.work <- stats.work + Context.work_units ctx;
-                t.commit_work <- Context.work_units ctx;
-                List.rev (Context.pushed_rev ctx)
-              end
-            in
-            if t.pure then stats.work <- stats.work + t.task_work;
-            List.iteri
-              (fun k child -> child_buffers.(w) <- (t.id, k, child) :: child_buffers.(w))
-              children;
-            stats.pushes <- stats.pushes + List.length children;
-            stats.committed <- stats.committed + 1;
-            committed.(i) <- true
+            if t.pure then begin
+              for k = 0 to t.n_pure_children - 1 do
+                child_buffers.(w) <-
+                  (t.id, k, t.pure_children.(k)) :: child_buffers.(w)
+              done;
+              stats.pushes <- stats.pushes + t.n_pure_children;
+              stats.work <- stats.work + t.task_work
+            end
+            else begin
+              Context.reset ctx ~phase:Commit ~task_id:t.id ~saved:t.saved;
+              operator ctx t.item;
+              stats.work <- stats.work + Context.work_units ctx;
+              t.commit_work <- Context.work_units ctx;
+              let n = Context.pushed_count ctx in
+              for k = 0 to n - 1 do
+                child_buffers.(w) <-
+                  (t.id, k, Context.pushed_get ctx k) :: child_buffers.(w)
+              done;
+              stats.pushes <- stats.pushes + n
+            end;
+            stats.committed <- stats.committed + 1
           end
           else stats.aborted <- stats.aborted + 1;
           (* Clear the marks this task still holds, readying the
              locations for the next round. *)
-          Array.iter (fun l -> Lock.release l t.id) t.neighborhood;
-          stats.atomic_updates <- stats.atomic_updates + Array.length t.neighborhood);
-      let dt_select = Unix.gettimeofday () -. t_select in
+          for k = 0 to t.n_locks - 1 do
+            Lock.release t.neighborhood.(k) t.id
+          done;
+          stats.atomic_updates <- stats.atomic_updates + t.n_locks);
+      let dt_select = Clock.elapsed_s t_select in
       select_s := !select_s +. dt_select;
-      (* --- sequential glue between rounds --------------------------- *)
+      (* --- sequential glue between rounds ---------------------------
+         [alive] still says which tasks were selected: defeat flags only
+         change during inspect. *)
       let n_committed = ref 0 in
-      let failed = ref [] in
-      for i = w_use - 1 downto 0 do
-        if committed.(i) then incr n_committed else failed := cur.(i) :: !failed
-      done;
       digest := Trace_digest.fold_int !digest w_use;
-      Array.iteri
-        (fun i t -> if committed.(i) then digest := Trace_digest.fold_int !digest t.id)
-        cur;
+      for i = 0 to w_use - 1 do
+        let t = Pending.get pending i in
+        if t.alive then begin
+          incr n_committed;
+          digest := Trace_digest.fold_int !digest t.id
+        end
+      done;
       digest := Trace_digest.fold_int !digest !n_committed;
       let round_pushes = ref 0 in
       for w = 0 to threads - 1 do
@@ -323,44 +375,47 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
                defeated = w_use - !n_committed });
         emit (Obs.Phase_time { round = !rounds; phase = Obs.Select; dt_s = dt_select });
         let exec_work = ref 0 in
-        Array.iteri
-          (fun i t ->
-            if committed.(i) then
-              exec_work := !exec_work + (if t.pure then t.task_work else t.commit_work))
-          cur;
+        for i = 0 to w_use - 1 do
+          let t = Pending.get pending i in
+          if t.alive then
+            exec_work := !exec_work + (if t.pure then t.task_work else t.commit_work)
+        done;
         emit
           (Obs.Execute_done
              { round = !rounds; work = !exec_work; pushes = !round_pushes })
       end;
       if record then begin
         let round_rec =
-          Array.mapi
-            (fun i t ->
+          Array.init w_use (fun i ->
+              let t = Pending.get pending i in
               {
-                Schedule.acquires = t.acquires;
+                Schedule.acquires = t.n_locks;
                 inspect_work = t.task_work;
                 commit_work = t.commit_work;
-                committed = committed.(i);
-                locks = Array.map Lock.id t.neighborhood;
+                committed = t.alive;
+                locks = Array.init t.n_locks (fun k -> Lock.id t.neighborhood.(k));
               })
-            cur
         in
         round_records := round_rec :: !round_records
       end;
       (* Failed tasks precede the untried remainder: they came from the
-         window prefix, so this keeps [next] in id order. *)
-      next := List.rev_append (List.rev !failed) remainder;
-      next_len := !next_len - !n_committed;
-      let ratio = float_of_int !n_committed /. float_of_int w_use in
+         window prefix, so the in-place compaction keeps the pending
+         sequence in id order. *)
+      let dropped =
+        Pending.compact pending ~w_use ~keep:(fun i ->
+            not (Pending.get pending i).alive)
+      in
+      assert (dropped = !n_committed);
       let old_w = !window in
-      window :=
-        if ratio >= target_ratio then min (!window * 2) (1 lsl 22)
-        else max 32 (int_of_float (float_of_int !window *. ratio /. target_ratio) + 1);
+      window := adapt_window ~target_ratio ~window:old_w ~committed:!n_committed ~w_use;
       if tracing && !window <> old_w then
-        emit (Obs.Window_adapted { old_w; new_w = !window; ratio })
+        emit
+          (Obs.Window_adapted
+             { old_w; new_w = !window;
+               ratio = float_of_int !n_committed /. float_of_int w_use })
     done
   done;
-  let time_s = Unix.gettimeofday () -. t0 in
+  let time_s = Clock.elapsed_s t0 in
   if tracing then
     Array.iteri
       (fun w (st : Stats.worker) ->
@@ -369,7 +424,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
              { worker = w; committed = st.committed; aborted = st.aborted;
                acquires = st.acquires; atomics = st.atomic_updates;
                work = st.work; pushes = st.pushes;
-               inspections = st.inspections }))
+               inspections = st.inspections; chunks = st.chunks }))
       workers;
   let stats =
     Stats.merge ~digest:!digest ~threads ~rounds:!rounds ~generations:!generations ~time_s

@@ -7,6 +7,19 @@
     The output is a function of the input and the (fixed) scheduling
     constants only — never of the thread count or timing. *)
 
+val spread_permute : int -> 'a array -> 'a array
+(** The §3.3 locality-spread permutation: deal the array into [spread]
+    strided piles, concatenated. A bijection on indices whenever
+    [spread > 1 && length > spread]; the identity otherwise. Exposed for
+    the property tests. *)
+
+val adapt_window : target_ratio:float -> window:int -> committed:int -> w_use:int -> int
+(** One step of the parameterless window controller (§3.1): the next
+    window size after a round that committed [committed] of [w_use]
+    tasks under the current [window]. Doubles (capped) at or above
+    [target_ratio], shrinks proportionally (floor 32) below it. Exposed
+    for the property tests; the scheduler calls exactly this. *)
+
 val run :
   ?record:bool ->
   ?sink:Obs.sink ->
@@ -24,8 +37,9 @@ val run :
 
     [sink] receives the full round/phase event stream: per generation a
     [Generation_begin]; per round [Round_begin], [Inspect_done],
-    [Select_done], [Execute_done] plus two [Phase_time]s and a
+    [Select_done], [Execute_done] plus two [Phase_time]s, a
+    [Chunk_sized] with the round's guided chunk size and a
     [Window_adapted] when the adaptive controller resizes; and final
     per-worker [Worker_counters]. Events are emitted from sequential
-    sections only, and every field outside [Phase_time] /
+    sections only, and every field outside [Phase_time] / [Chunk_sized] /
     [Worker_counters] is deterministic. The sink is not closed. *)

@@ -9,6 +9,18 @@ type t = { mark : int Atomic.t; lid : int }
 
 let next_lid = Atomic.make 0
 
+(* Location ids come from a process-global counter, so a second run in
+   the same process sees different lids for the same program — which is
+   why lids are excluded from every digest (Trace_digest folds ids, not
+   lids). [reset_lids] re-bases the counter so a harness that fully owns
+   the setup phase (tests, the bench harness, CLI drivers) can make lids
+   reproducible run-to-run and fold them into debug output safely. It
+   must only be called between runs, when no locks from the previous
+   namespace are still live: lid uniqueness is only per-namespace. *)
+let reset_lids ?(base = 0) () =
+  if base < 0 then invalid_arg "Lock.reset_lids: base must be >= 0";
+  Atomic.set next_lid base
+
 let create () = { mark = Atomic.make 0; lid = Atomic.fetch_and_add next_lid 1 }
 
 let create_array n = Array.init n (fun _ -> create ())

@@ -7,7 +7,16 @@
 type t
 
 val create : unit -> t
-(** A fresh location with a process-unique location id. *)
+(** A fresh location with a location id unique within the current lid
+    namespace (process-unique unless {!reset_lids} is used). *)
+
+val reset_lids : ?base:int -> unit -> unit
+(** Re-base the process-global lid counter (default 0) so location ids
+    are reproducible from one run to the next within a process. Call
+    only between runs, when no locks created under the previous
+    namespace remain live — lid uniqueness holds per namespace only.
+    Lids stay excluded from all schedule/trace digests regardless. *)
+
 
 val create_array : int -> t array
 

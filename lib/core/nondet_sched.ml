@@ -21,7 +21,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
   let workers = Array.init threads (fun _ -> Stats.make_worker ()) in
   let records = Array.make threads [] in
   let ws = Workset.create items in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   Parallel.Domain_pool.run pool (fun w ->
       if w >= threads then ()
       else
@@ -62,7 +62,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
                 stats.atomic_updates <- stats.atomic_updates + Context.neighborhood_count ctx;
                 record_attempt ~committed:true;
                 Context.release_all ctx;
-                Workset.push_new ws (List.rev (Context.pushed_rev ctx));
+                Workset.push_new ws (Context.pushed_list ctx);
                 stats.pushes <- stats.pushes + Context.pushed_count ctx;
                 stats.work <- stats.work + Context.work_units ctx;
                 stats.committed <- stats.committed + 1;
@@ -79,7 +79,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
             loop ()
       in
       loop ());
-  let time_s = Unix.gettimeofday () -. t0 in
+  let time_s = Clock.elapsed_s t0 in
   let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
   emit (Obs.Phase_time { round = 0; phase = Obs.Execute; dt_s = time_s });
   Array.iteri
@@ -89,7 +89,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
            { worker = w; committed = st.committed; aborted = st.aborted;
              acquires = st.acquires; atomics = st.atomic_updates;
              work = st.work; pushes = st.pushes;
-             inspections = st.inspections }))
+             inspections = st.inspections; chunks = st.chunks }))
     workers;
   let stats =
     Stats.merge ~threads ~rounds:0 ~generations:0 ~time_s

@@ -1,0 +1,46 @@
+(* The deterministic scheduler's pending-task deque.
+
+   A generation's tasks arrive as one array in deterministic order; each
+   round then takes the first [w] pending tasks as its window and must
+   put the failed ones back in front of the untried remainder, still in
+   order. The original implementation did this with linked lists
+   (window extraction, [List.rev_append] re-splicing), allocating O(w)
+   cons cells every round. Here the window is just an index range over
+   the generation array and a round ends with an in-place compaction:
+   no per-round allocation at all.
+
+   [compact] walks the window backwards, sliding each kept (failed)
+   task down to sit directly before the untried remainder. Writing
+   index [j] always satisfies [j >= head + i] (at most [w_use - 1 - i]
+   tasks were kept from positions above [i]), so no unread entry is
+   ever clobbered, and the descending walk preserves the relative order
+   of the kept tasks. *)
+
+type 'a t = { mutable buf : 'a array; mutable head : int; mutable len : int }
+
+let create () = { buf = [||]; head = 0; len = 0 }
+
+(* Takes ownership of [arr]: the deque compacts tasks within it in
+   place. Callers must not reuse the array. *)
+let load t arr =
+  t.buf <- arr;
+  t.head <- 0;
+  t.len <- Array.length arr
+
+let length t = t.len
+
+let get t i = t.buf.(t.head + i)
+
+let compact t ~w_use ~keep =
+  if w_use < 0 || w_use > t.len then invalid_arg "Pending.compact";
+  let j = ref (t.head + w_use - 1) in
+  for i = w_use - 1 downto 0 do
+    if keep i then begin
+      t.buf.(!j) <- t.buf.(t.head + i);
+      decr j
+    end
+  done;
+  let dropped = !j - t.head + 1 in
+  t.head <- !j + 1;
+  t.len <- t.len - dropped;
+  dropped

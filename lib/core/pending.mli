@@ -1,0 +1,28 @@
+(** Pending-task deque of the deterministic scheduler.
+
+    Holds one generation's tasks in deterministic order; a round's
+    window is the index range [\[0, w_use)] and finishing a round is an
+    in-place compaction that drops the committed tasks while keeping
+    the failed ones — in order — in front of the untried remainder.
+    Steady-state rounds allocate nothing. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val load : 'a t -> 'a array -> unit
+(** [load t arr] replaces the contents with [arr], which the deque
+    takes ownership of (it is compacted in place). *)
+
+val length : 'a t -> int
+(** Number of pending tasks. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the [i]-th pending task, [0 <= i < length t]. *)
+
+val compact : 'a t -> w_use:int -> keep:(int -> bool) -> int
+(** [compact t ~w_use ~keep] ends a round over the window
+    [\[0, w_use)]: window slots with [keep i = false] are dropped, the
+    kept ones stay (in order) in front of the remaining tasks. [keep]
+    is called exactly once per window index, descending. Returns the
+    number of dropped tasks. *)

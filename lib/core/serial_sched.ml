@@ -13,7 +13,7 @@ let run ?(record = false) ?(sink = Obs.null) ~operator items =
   let queue = Queue.create () in
   Array.iter (fun x -> Queue.add x queue) items;
   let records = ref [] in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   while not (Queue.is_empty queue) do
     let item = Queue.pop queue in
     Context.reset ctx ~phase:Direct ~task_id:1 ~saved:None;
@@ -32,12 +32,12 @@ let run ?(record = false) ?(sink = Obs.null) ~operator items =
         }
         :: !records;
     Context.release_all ctx;
-    List.iter (fun c -> Queue.add c queue) (List.rev (Context.pushed_rev ctx));
+    List.iter (fun c -> Queue.add c queue) (Context.pushed_list ctx);
     stats.pushes <- stats.pushes + Context.pushed_count ctx;
     stats.work <- stats.work + Context.work_units ctx;
     stats.committed <- stats.committed + 1
   done;
-  let time_s = Unix.gettimeofday () -. t0 in
+  let time_s = Clock.elapsed_s t0 in
   let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
   emit (Obs.Phase_time { round = 0; phase = Obs.Execute; dt_s = time_s });
   emit
@@ -45,7 +45,7 @@ let run ?(record = false) ?(sink = Obs.null) ~operator items =
        { worker = 0; committed = stats.committed; aborted = stats.aborted;
          acquires = stats.acquires; atomics = stats.atomic_updates;
          work = stats.work; pushes = stats.pushes;
-         inspections = stats.inspections });
+         inspections = stats.inspections; chunks = stats.chunks });
   let stats =
     Stats.merge ~threads:1 ~rounds:0 ~generations:0 ~time_s
       ~phases:(Stats.breakdown ~inspect_s:0.0 ~select_s:time_s ~time_s)

@@ -13,6 +13,7 @@ type worker = {
   mutable work : int;  (* abstract work units reported by operators *)
   mutable pushes : int;  (* tasks created *)
   mutable inspections : int;  (* deterministic-scheduler inspect executions *)
+  mutable chunks : int;  (* chunk grabs in dynamic parallel iteration *)
 }
 
 let make_worker () =
@@ -24,6 +25,7 @@ let make_worker () =
     work = 0;
     pushes = 0;
     inspections = 0;
+    chunks = 0;
   }
 
 (* Wall-clock breakdown of a run across scheduler phases. For the DIG

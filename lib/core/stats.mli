@@ -12,9 +12,12 @@ type worker = {
   mutable work : int;
   mutable pushes : int;
   mutable inspections : int;
+  mutable chunks : int;
 }
 (** Per-worker mutable counters; owned exclusively by one worker during a
-    parallel section. *)
+    parallel section. [chunks] counts chunk grabs in the deterministic
+    scheduler's dynamic parallel iteration — a load-balance signal
+    surfaced through the [Worker_counters] observability event. *)
 
 val make_worker : unit -> worker
 

@@ -50,11 +50,17 @@ let push_new t items =
       Condition.broadcast t.nonempty;
       Mutex.unlock t.mutex
 
-(* An aborted task goes back for retry; it was already pending. *)
+(* An aborted task goes back for retry; it was already pending.
+
+   Broadcast, not signal: [take] waits for two distinct reasons (queue
+   nonempty, or pending = 0), so a single signal can land on a waiter
+   that is about to lose the race for this item and go back to sleep —
+   stranding another waiter that would have taken it. Waking everyone
+   is cheap at these worker counts and cannot deadlock. *)
 let requeue t item =
   Mutex.lock t.mutex;
   Queue.add item t.queue;
-  Condition.signal t.nonempty;
+  Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex
 
 (* A task committed: one fewer pending. Reaching zero releases all

@@ -20,6 +20,7 @@ type event =
   | Execute_done of { round : int; work : int; pushes : int }
   | Window_adapted of { old_w : int; new_w : int; ratio : float }
   | Phase_time of { round : int; phase : phase; dt_s : float }
+  | Chunk_sized of { round : int; tasks : int; chunk : int }
   | Worker_counters of {
       worker : int;
       committed : int;
@@ -29,13 +30,14 @@ type event =
       work : int;
       pushes : int;
       inspections : int;
+      chunks : int;
     }
   | Run_end of { commits : int; rounds : int; generations : int }
 
 type stamped = { at_s : float; event : event }
 
 let deterministic = function
-  | Run_begin _ | Phase_time _ | Worker_counters _ -> false
+  | Run_begin _ | Phase_time _ | Chunk_sized _ | Worker_counters _ -> false
   | Generation_begin _ | Round_begin _ | Inspect_done _ | Select_done _
   | Execute_done _ | Window_adapted _ | Run_end _ ->
       true
@@ -60,13 +62,16 @@ let pp_event ppf = function
   | Phase_time { round; phase; dt_s } ->
       Fmt.pf ppf "phase-time round=%d phase=%s dt=%.6fs" round
         (phase_name phase) dt_s
+  | Chunk_sized { round; tasks; chunk } ->
+      Fmt.pf ppf "chunk-sized round=%d tasks=%d chunk=%d" round tasks chunk
   | Worker_counters
       { worker; committed; aborted; acquires; atomics; work; pushes;
-        inspections } ->
+        inspections; chunks } ->
       Fmt.pf ppf
         "worker-counters worker=%d committed=%d aborted=%d acquires=%d \
-         atomics=%d work=%d pushes=%d inspections=%d"
+         atomics=%d work=%d pushes=%d inspections=%d chunks=%d"
         worker committed aborted acquires atomics work pushes inspections
+        chunks
   | Run_end { commits; rounds; generations } ->
       Fmt.pf ppf "run-end commits=%d rounds=%d generations=%d" commits rounds
         generations
@@ -186,14 +191,17 @@ module Jsonl = struct
         ("phase_time",
          [ ("round", I round); ("phase", S (phase_name phase));
            ("dt_s", F dt_s) ])
+    | Chunk_sized { round; tasks; chunk } ->
+        ("chunk_sized",
+         [ ("round", I round); ("tasks", I tasks); ("chunk", I chunk) ])
     | Worker_counters
         { worker; committed; aborted; acquires; atomics; work; pushes;
-          inspections } ->
+          inspections; chunks } ->
         ("worker_counters",
          [ ("worker", I worker); ("committed", I committed);
            ("aborted", I aborted); ("acquires", I acquires);
            ("atomics", I atomics); ("work", I work); ("pushes", I pushes);
-           ("inspections", I inspections) ])
+           ("inspections", I inspections); ("chunks", I chunks) ])
     | Run_end { commits; rounds; generations } ->
         ("run_end",
          [ ("commits", I commits); ("rounds", I rounds);
@@ -411,13 +419,18 @@ module Jsonl = struct
           | None -> raise (Bad (Printf.sprintf "unknown phase %S" name))
         in
         Phase_time { round = get_int fs "round"; phase; dt_s = get_float fs "dt_s" }
+    | "chunk_sized" ->
+        Chunk_sized
+          { round = get_int fs "round"; tasks = get_int fs "tasks";
+            chunk = get_int fs "chunk" }
     | "worker_counters" ->
         Worker_counters
           { worker = get_int fs "worker"; committed = get_int fs "committed";
             aborted = get_int fs "aborted"; acquires = get_int fs "acquires";
             atomics = get_int fs "atomics"; work = get_int fs "work";
             pushes = get_int fs "pushes";
-            inspections = get_int fs "inspections" }
+            inspections = get_int fs "inspections";
+            chunks = get_int fs "chunks" }
     | "run_end" ->
         Run_end
           { commits = get_int fs "commits"; rounds = get_int fs "rounds";

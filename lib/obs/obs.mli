@@ -49,6 +49,11 @@ type event =
   | Phase_time of { round : int; phase : phase; dt_s : float }
       (** Wall-clock seconds spent in one phase of one round. Timing
           is machine- and run-dependent: never deterministic. *)
+  | Chunk_sized of { round : int; tasks : int; chunk : int }
+      (** The DIG scheduler's guided chunking picked grab size [chunk]
+          for this round's [tasks]-task parallel phases. The choice
+          depends on the thread count, so — like [Phase_time] — it is
+          not part of the deterministic stream. *)
   | Worker_counters of {
       worker : int;
       committed : int;
@@ -58,9 +63,12 @@ type event =
       work : int;
       pushes : int;
       inspections : int;
+      chunks : int;
     }
-      (** End-of-run per-worker totals. Task→worker attribution depends
-          on timing, so these are not deterministic. *)
+      (** End-of-run per-worker totals ([chunks] counts dynamic
+          chunk grabs in the DIG parallel phases). Task→worker
+          attribution depends on timing, so these are not
+          deterministic. *)
   | Run_end of { commits : int; rounds : int; generations : int }
       (** Last event of a run. *)
 
@@ -70,8 +78,9 @@ type stamped = { at_s : float; event : event }
 val deterministic : event -> bool
 (** [true] iff every field of the event is a function of the input and
     the policy alone — identical across machines and thread counts for
-    a deterministic ([det]) run. [Run_begin], [Phase_time] and
-    [Worker_counters] are excluded; everything else is included. *)
+    a deterministic ([det]) run. [Run_begin], [Phase_time],
+    [Chunk_sized] and [Worker_counters] are excluded; everything else is
+    included. *)
 
 val pp_event : Format.formatter -> event -> unit
 (** One-line human rendering, stable across runs (no timestamps). *)

@@ -1,0 +1,188 @@
+(* Property tests for the deterministic scheduler's pure scheduling
+   arithmetic: the §3.3 locality-spread permutation, the §3.1
+   parameterless window controller, and the Pending deque's in-place
+   round compaction. All randomness comes from Splitmix with fixed
+   seeds, so the properties are reproducible everywhere. *)
+
+module D = Galois.Det_sched
+module P = Galois.Pending
+module Sm = Parallel.Splitmix
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_int_list = Alcotest.(check (list int))
+
+(* Reference implementation of the spread permutation: build the strided
+   piles as lists and concatenate. *)
+let spread_reference spread arr =
+  let n = Array.length arr in
+  if spread <= 1 || n <= spread then Array.copy arr
+  else
+    Array.of_list
+      (List.concat_map
+         (fun pile ->
+           let rec go i = if i >= n then [] else arr.(i) :: go (i + spread) in
+           go pile)
+         (List.init spread (fun p -> p)))
+
+let test_spread_identity_cases () =
+  let arr = Array.init 10 (fun i -> i) in
+  (* spread = 1 is a no-op... *)
+  Alcotest.(check bool) "spread=1 returns the array" true (D.spread_permute 1 arr == arr);
+  (* ...and so is any spread >= length (nothing to deal apart). *)
+  Alcotest.(check bool) "n <= spread returns the array" true
+    (D.spread_permute 10 arr == arr && D.spread_permute 64 arr == arr);
+  check_int_list "untouched" (List.init 10 (fun i -> i)) (Array.to_list arr)
+
+let test_spread_exact_multiple () =
+  (* n = spread * k: pile [p] is exactly [p; p+spread; ...], each of
+     length [k]. *)
+  let arr = Array.init 12 (fun i -> i) in
+  check_int_list "3 piles of 4"
+    [ 0; 3; 6; 9; 1; 4; 7; 10; 2; 5; 8; 11 ]
+    (Array.to_list (D.spread_permute 3 arr))
+
+let test_spread_remainder () =
+  (* n = 10, spread = 4: the first two piles carry the remainder. *)
+  let arr = Array.init 10 (fun i -> i) in
+  check_int_list "uneven piles"
+    [ 0; 4; 8; 1; 5; 9; 2; 6; 3; 7 ]
+    (Array.to_list (D.spread_permute 4 arr))
+
+let test_spread_bijection () =
+  (* Random sizes and spreads: the output is always a permutation of the
+     input (sorting both sides must agree), and it matches the list
+     reference exactly. *)
+  let rng = Sm.create 0x5eed in
+  for _ = 1 to 200 do
+    let n = 1 + Sm.int rng 200 in
+    let spread = 1 + Sm.int rng 20 in
+    let arr = Array.init n (fun i -> i * 7 + 3) in
+    let out = D.spread_permute spread arr in
+    check_int "same length" n (Array.length out);
+    check_int_list "matches reference"
+      (Array.to_list (spread_reference spread arr))
+      (Array.to_list out);
+    let sorted = Array.copy out in
+    Array.sort compare sorted;
+    check_int_list "bijection" (Array.to_list arr) (Array.to_list sorted)
+  done
+
+let target = 0.9
+let cap = 1 lsl 22
+
+let test_window_doubles_to_cap () =
+  (* A run of all-commit rounds doubles the window every time until the
+     cap, then pins it there. *)
+  let w = ref 32 and steps = ref 0 in
+  while !w < cap && !steps < 100 do
+    let next = D.adapt_window ~target_ratio:target ~window:!w ~committed:!w ~w_use:!w in
+    check_int "doubles" (min (2 * !w) cap) next;
+    w := next;
+    incr steps
+  done;
+  check_int "reached the cap" cap !w;
+  check_bool "in at most log2(cap) steps" true (!steps <= 22);
+  check_int "pinned at the cap" cap
+    (D.adapt_window ~target_ratio:target ~window:cap ~committed:cap ~w_use:cap)
+
+let test_window_collapse_on_zero_commits () =
+  (* A fully defeated round collapses any window straight to the floor. *)
+  List.iter
+    (fun w ->
+      check_int "floor after zero commits" 32
+        (D.adapt_window ~target_ratio:target ~window:w ~committed:0 ~w_use:(max 1 (w / 2))))
+    [ 32; 33; 100; 4096; cap ]
+
+let test_window_bounds_random_walk () =
+  (* Whatever commit ratios a workload forces, the controller stays
+     inside [32, cap] and never more than doubles: 500 random walks of
+     the recurrence with uniformly random commit counts. *)
+  let rng = Sm.create 2014 in
+  for _ = 1 to 500 do
+    let w = ref (32 + Sm.int rng 8192) in
+    for _ = 1 to 50 do
+      let w_use = 1 + Sm.int rng !w in
+      let committed = Sm.int rng (w_use + 1) in
+      let next = D.adapt_window ~target_ratio:target ~window:!w ~committed ~w_use in
+      check_bool "floor" true (next >= 32);
+      check_bool "cap" true (next <= cap);
+      check_bool "at most doubles" true (next <= max 32 (2 * !w));
+      (let ratio = float_of_int committed /. float_of_int w_use in
+       if ratio >= target then
+         check_int "good round doubles" (min (2 * !w) cap) next);
+      w := next
+    done
+  done
+
+let test_window_shrink_proportional () =
+  (* Below target, the shrink is proportional: committing half the
+     target ratio roughly halves the window (within the +1 rounding). *)
+  let w = 10_000 in
+  let w_use = 1_000 in
+  let committed = int_of_float (target *. 0.5 *. float_of_int w_use) in
+  let next = D.adapt_window ~target_ratio:target ~window:w ~committed ~w_use in
+  check_bool "about half" true (abs (next - (w / 2)) <= w / 100)
+
+(* --- Pending deque ---------------------------------------------------- *)
+
+let pending_of_list l =
+  let p = P.create () in
+  P.load p (Array.of_list l);
+  p
+
+let to_list p = List.init (P.length p) (P.get p)
+
+let test_pending_compact_cases () =
+  let p = pending_of_list [ 1; 2; 3; 4; 5 ] in
+  (* Drop the committed (even) window entries; failed ones keep their
+     order in front of the untried remainder. *)
+  let dropped = P.compact p ~w_use:4 ~keep:(fun i -> P.get p i mod 2 = 1) in
+  check_int "dropped" 2 dropped;
+  check_int_list "failed before remainder" [ 1; 3; 5 ] (to_list p);
+  (* Keep-all is a no-op. *)
+  check_int "keep all drops none" 0 (P.compact p ~w_use:3 ~keep:(fun _ -> true));
+  check_int_list "unchanged" [ 1; 3; 5 ] (to_list p);
+  (* Drop-all empties the window. *)
+  check_int "drop all" 3 (P.compact p ~w_use:3 ~keep:(fun _ -> false));
+  check_int "empty" 0 (P.length p)
+
+let test_pending_compact_random () =
+  (* Against a list reference: repeatedly take a random window, keep a
+     random subset, and compare with filter + append semantics. *)
+  let rng = Sm.create 0xbeef in
+  for _ = 1 to 200 do
+    let n = 1 + Sm.int rng 60 in
+    let items = List.init n (fun i -> i) in
+    let p = pending_of_list items in
+    let model = ref items in
+    while P.length p > 0 do
+      let w_use = 1 + Sm.int rng (P.length p) in
+      let keep_set = Array.init w_use (fun _ -> Sm.bool rng) in
+      (* Force progress so the loop terminates. *)
+      keep_set.(Sm.int rng w_use) <- false;
+      let dropped = P.compact p ~w_use ~keep:(fun i -> keep_set.(i)) in
+      let window, rest =
+        (List.filteri (fun i _ -> i < w_use) !model,
+         List.filteri (fun i _ -> i >= w_use) !model)
+      in
+      model := List.filteri (fun i _ -> keep_set.(i)) window @ rest;
+      check_int "dropped count" (w_use - List.length (List.filter Fun.id (Array.to_list keep_set))) dropped;
+      check_int_list "matches model" !model (to_list p)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "spread: identity cases" `Quick test_spread_identity_cases;
+    Alcotest.test_case "spread: exact-multiple piles" `Quick test_spread_exact_multiple;
+    Alcotest.test_case "spread: remainder piles" `Quick test_spread_remainder;
+    Alcotest.test_case "spread: random bijection" `Quick test_spread_bijection;
+    Alcotest.test_case "window: doubles to cap" `Quick test_window_doubles_to_cap;
+    Alcotest.test_case "window: zero commits collapse" `Quick
+      test_window_collapse_on_zero_commits;
+    Alcotest.test_case "window: bounded random walk" `Quick test_window_bounds_random_walk;
+    Alcotest.test_case "window: proportional shrink" `Quick test_window_shrink_proportional;
+    Alcotest.test_case "pending: compact cases" `Quick test_pending_compact_cases;
+    Alcotest.test_case "pending: compact random model" `Quick test_pending_compact_random;
+  ]

@@ -1,0 +1,121 @@
+(* Schedule-neutrality fixture.
+
+   Scheduler *performance* work must not perturb the deterministic
+   schedule: detcheck proves invariance across thread counts and
+   configurations within one build, but only a pinned fixture can prove
+   invariance across *versions of the scheduler itself*. This table was
+   captured from the DIG scheduler before the allocation-free round
+   pipeline rework and must stay byte-identical forever after; any
+   optimization that changes a single window decision, commit choice or
+   deterministic event shows up as a digest mismatch here.
+
+   Each entry is one (case, lattice configuration) point run at 2
+   threads (thread-count invariance is detcheck's job): the round-trace
+   digest [Stats.t.digest] and an FNV digest of the rendered
+   deterministic event stream [Obs.deterministic_lines].
+
+   To regenerate after an *intentional* schedule change (a new
+   scheduling feature, never a perf PR):
+
+     FIXTURE_PRINT=1 dune exec test/test_main.exe -- test digest-fixture \
+       | grep '|' > new_table  *)
+
+module D = Galois.Trace_digest
+
+let cases () =
+  [
+    Detcheck.Gen.case ~seed:1;
+    Detcheck.Gen.case ~seed:2;
+    Detcheck.Gen.case ~seed:3;
+    Detcheck.Gen.case ~seed:42;
+    Detcheck.App_cases.bfs ~n:300 ~seed:7;
+    Detcheck.App_cases.sssp ~n:300 ~seed:7;
+    Detcheck.App_cases.boruvka ~n:300 ~seed:7;
+    Detcheck.App_cases.dmr ~points:90 ~seed:7;
+  ]
+
+let observed () =
+  Parallel.Domain_pool.with_pool 2 (fun pool ->
+      List.concat_map
+        (fun (case : Detcheck.case) ->
+          List.map
+            (fun (cfg : Detcheck.config) ->
+              let r =
+                case.run
+                  ~policy:(Galois.Policy.det ~options:cfg.options 2)
+                  ~pool ~static_id:cfg.static_id
+              in
+              Printf.sprintf "%s|%s|%s|%s" case.name cfg.label
+                (D.to_hex r.sched_digest)
+                (D.to_hex (D.fold_string D.seed r.det_trace)))
+            (Detcheck.lattice ~static_id_capable:case.static_id_capable))
+        (cases ()))
+
+(* case|config|sched-digest|det-event-stream-digest — pre-rework DIG
+   scheduler, captured 2026-08-06. *)
+let expected =
+  [
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|default|4713742fae67d9b2|49c169993e2bf383";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|window=8|8bacec0e712b55b6|cb5f005ae0ed4364";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|window=256|a0d52c870fd2d9b4|b6950b08b27b2e6c";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|spread=1|edf0792a151de7b0|2cbccc90c5bb302d";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|no-continuation|4713742fae67d9b2|4cfd1237f282b939";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|validate|4713742fae67d9b2|49c169993e2bf383";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|default|7507e48417b075cc|42d6ade20ec4d46c";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|window=8|0ab7c1b717740884|fc3ecc0f2f41ab20";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|window=256|70cd092f3a691e5f|102a96cb9257d928";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|spread=1|974ae2dadaeb2450|6e14eafdf790df96";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|no-continuation|7507e48417b075cc|c614939a40eeefde";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|validate|7507e48417b075cc|42d6ade20ec4d46c";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|static-id|7507e48417b075cc|42d6ade20ec4d46c";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|static-id+window=8|0ab7c1b717740884|fc3ecc0f2f41ab20";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|default|9a056e191473d8ad|47a903ac7374bd8c";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|window=8|d6fdbd96301080b4|882921d7d4e26baa";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|window=256|dcb93a15b0753078|d870e70b34ce08cb";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|spread=1|904b0c44aee593d0|2046a7718b7178b6";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|no-continuation|9a056e191473d8ad|1341c0b56f8c448c";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|validate|9a056e191473d8ad|47a903ac7374bd8c";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|default|33640c7159be1df0|6df41b6bd259e140";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|window=8|c8c4fa30118cfc07|148ae677c784c9ce";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|window=256|8bd2a12607251ea7|6a9e7680ef76649f";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|spread=1|b0ce4b3b0d6e675f|a420b1aaf23327fa";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|no-continuation|33640c7159be1df0|6f5eb748d3c9175d";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|validate|33640c7159be1df0|6df41b6bd259e140";
+    "bfs(n=300,seed=7)|default|a1e8a3c10e1caa1d|4d42c65407005f57";
+    "bfs(n=300,seed=7)|window=8|a1e8a3c10e1caa1d|57b6a64854164d4f";
+    "bfs(n=300,seed=7)|window=256|a1e8a3c10e1caa1d|140e0d62dd5c6d53";
+    "bfs(n=300,seed=7)|spread=1|a7271300f28d9a28|ca99bfd838b40432";
+    "bfs(n=300,seed=7)|no-continuation|a1e8a3c10e1caa1d|4d42c65407005f57";
+    "bfs(n=300,seed=7)|validate|a1e8a3c10e1caa1d|4d42c65407005f57";
+    "sssp(n=300,seed=7)|default|11cf4248a6dce69b|95376b1da0779e7a";
+    "sssp(n=300,seed=7)|window=8|11cf4248a6dce69b|234d1cd07929b0b2";
+    "sssp(n=300,seed=7)|window=256|11cf4248a6dce69b|42e38457289be63e";
+    "sssp(n=300,seed=7)|spread=1|d6f566bb11be7e2e|a73d1ec346c85032";
+    "sssp(n=300,seed=7)|no-continuation|11cf4248a6dce69b|95376b1da0779e7a";
+    "sssp(n=300,seed=7)|validate|11cf4248a6dce69b|95376b1da0779e7a";
+    "boruvka(n=300,seed=7)|default|351c85fadb57e54e|8de8ee9b75bf829d";
+    "boruvka(n=300,seed=7)|window=8|d66ef19aa3347ef3|83a7ff39dd222ddb";
+    "boruvka(n=300,seed=7)|window=256|457bdd4bf3aa44c0|306744cf584a2dc4";
+    "boruvka(n=300,seed=7)|spread=1|413411f9914cada4|a33da8e417a518af";
+    "boruvka(n=300,seed=7)|no-continuation|351c85fadb57e54e|8de8ee9b75bf829d";
+    "boruvka(n=300,seed=7)|validate|351c85fadb57e54e|8de8ee9b75bf829d";
+    "dmr(points=90,seed=7)|default|df2dc57ff39641cc|cc296e6baaf6240b";
+    "dmr(points=90,seed=7)|window=8|142f26b97ef73de2|7e9d6ff1e7a5adc3";
+    "dmr(points=90,seed=7)|window=256|cf0f2dbba119ac53|11551373798df3de";
+    "dmr(points=90,seed=7)|spread=1|deb013b85dce85e3|4ebb15a24af73102";
+    "dmr(points=90,seed=7)|no-continuation|df2dc57ff39641cc|314ebb6f0e8248de";
+    "dmr(points=90,seed=7)|validate|df2dc57ff39641cc|cc296e6baaf6240b";
+  ]
+
+let test_fixture () =
+  let got = observed () in
+  if Sys.getenv_opt "FIXTURE_PRINT" <> None then
+    List.iter print_endline got
+  else begin
+    Alcotest.(check int) "fixture size" (List.length expected) (List.length got);
+    List.iter2
+      (fun e g -> Alcotest.(check string) "schedule digest pinned" e g)
+      expected got
+  end
+
+let suite = [ Alcotest.test_case "pre-rework schedule digests" `Slow test_fixture ]

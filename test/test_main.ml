@@ -11,6 +11,8 @@ let () =
       ("policy", Test_policy.suite);
       ("determinism", Test_determinism.suite);
       ("detcheck", Test_detcheck.suite);
+      ("digest-fixture", Test_digest_fixture.suite);
+      ("det-sched-props", Test_det_sched_props.suite);
       ("core-edge", Test_core_edge.suite);
       ("graph", Test_graph.suite);
       ("geometry", Test_geometry.suite);

@@ -20,6 +20,7 @@ let exemplars =
     Obs.Execute_done { round = 7; work = 222; pushes = 13 };
     Obs.Window_adapted { old_w = 64; new_w = 128; ratio = 0.921875 };
     Obs.Phase_time { round = 7; phase = Obs.Inspect; dt_s = 0.003125 };
+    Obs.Chunk_sized { round = 7; tasks = 64; chunk = 4 };
     Obs.Worker_counters
       {
         worker = 3;
@@ -30,6 +31,7 @@ let exemplars =
         work = 17;
         pushes = 4;
         inspections = 12;
+        chunks = 6;
       };
     Obs.Run_end { commits = 1000; rounds = 19; generations = 3 };
   ]
@@ -81,8 +83,9 @@ let test_jsonl_rejects () =
 
 let test_deterministic_classification () =
   let det = List.filter Obs.deterministic exemplars in
-  (* Everything except Run_begin, Phase_time and Worker_counters. *)
-  check_int "deterministic subset size" (List.length exemplars - 3) (List.length det);
+  (* Everything except Run_begin, Phase_time, Chunk_sized and
+     Worker_counters. *)
+  check_int "deterministic subset size" (List.length exemplars - 4) (List.length det);
   check_bool "run_begin excluded" false
     (Obs.deterministic (Obs.Run_begin { policy = "p"; threads = 1; tasks = 1 }));
   check_bool "phase_time excluded" false
@@ -103,7 +106,8 @@ let test_deterministic_lines_strip_timing () =
        let rec go i = i + m <= n && (String.sub lowered i m = sub || go (i + 1)) in
        go 0
      in
-     contains "phase-time" || contains "worker" || contains "run-begin")
+     contains "phase-time" || contains "worker" || contains "run-begin"
+     || contains "chunk")
 
 let test_memory_ring () =
   let mem = Obs.Memory.create ~capacity:4 () in

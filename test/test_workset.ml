@@ -101,6 +101,38 @@ let test_blocking_take_wakes_on_push () =
      [None] only after the pushed tasks were drained. *)
   check_int "pushed tasks processed" 2 (Atomic.get consumed)
 
+let test_requeue_wakes_blocked_takers () =
+  (* Regression for requeue waking with [Condition.signal]: with
+     several workers blocked in [take], a single signal can be consumed
+     by a waiter that loses the race for the requeued item and goes
+     straight back to sleep, stranding the worker that would have taken
+     it. Both tasks abort and requeue many times while the spare
+     workers sit blocked; every retry must be re-taken by someone and
+     the run must terminate (a lost wake-up hangs this test). *)
+  let ws = Galois.Workset.create [| 0; 1 |] in
+  let retries = [| Atomic.make 0; Atomic.make 0 |] in
+  let consumed = Atomic.make 0 in
+  Parallel.Domain_pool.with_pool 4 (fun pool ->
+      Parallel.Domain_pool.run pool (fun _ ->
+          let rec go () =
+            match Galois.Workset.take ws with
+            | None -> ()
+            | Some x ->
+                if Atomic.fetch_and_add retries.(x) 1 < 50 then begin
+                  (* Abort path: occasionally pause so the other
+                     workers reach their blocking take first. *)
+                  if Atomic.get retries.(x) mod 10 = 0 then Unix.sleepf 0.001;
+                  Galois.Workset.requeue ws x
+                end
+                else begin
+                  Atomic.incr consumed;
+                  Galois.Workset.complete ws
+                end;
+                go ()
+          in
+          go ()));
+  check_int "both tasks eventually commit" 2 (Atomic.get consumed)
+
 let suite =
   [
     Alcotest.test_case "sequential drain in FIFO order" `Quick test_drain_sequential;
@@ -110,4 +142,5 @@ let suite =
     Alcotest.test_case "concurrent producers and consumers" `Quick
       test_concurrent_producers_consumers;
     Alcotest.test_case "blocked take wakes on push" `Quick test_blocking_take_wakes_on_push;
+    Alcotest.test_case "requeue wakes blocked takers" `Quick test_requeue_wakes_blocked_takers;
   ]
