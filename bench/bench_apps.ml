@@ -129,6 +129,15 @@ let bench_case ~threads { name; size; prepare } =
     minor_words_per_commit =
       Analysis.Bench_record.minor_words_per_commit ~minor_words
         ~commits:astats.commits;
+    (* Sync-overhead metrics of the timing pass (report-only): round
+       throughput, atomic mark updates per committed task, and the pool's
+       spin/park split. *)
+    rounds_per_s = Analysis.Bench_record.rounds_per_s ~rounds:stats.rounds ~wall_s;
+    atomics_per_commit =
+      Analysis.Bench_record.atomics_per_commit ~atomics:stats.atomics
+        ~commits:stats.commits;
+    spins = stats.spins;
+    parks = stats.parks;
     digest = Galois.Trace_digest.to_hex stats.digest;
   }
 
@@ -143,6 +152,19 @@ let validate_file path =
           (Printf.sprintf "%s: phases do not sum to wall time (%g + %g + %g <> %g)"
              path r.inspect_s r.select_s r.other_s r.wall_s)
       else if r.commits <= 0 then Error (Printf.sprintf "%s: no commits recorded" path)
+      else if r.spins < 0 || r.parks < 0 then
+        Error (Printf.sprintf "%s: negative sync counters (spins=%d parks=%d)" path r.spins r.parks)
+      else if
+        (* rounds_per_s must be what the record's own rounds and wall
+           time imply (same guard against a stale field as
+           phases_consistent). *)
+        Float.abs
+          (r.rounds_per_s
+          -. Analysis.Bench_record.rounds_per_s ~rounds:r.rounds ~wall_s:r.wall_s)
+        > 1e-6 +. (1e-9 *. Float.abs r.rounds_per_s)
+      then Error (Printf.sprintf "%s: rounds_per_s inconsistent with rounds/wall_s" path)
+      else if r.atomics_per_commit < 0.0 then
+        Error (Printf.sprintf "%s: negative atomics_per_commit" path)
       else Ok r
 
 let compare_against ~dir records =

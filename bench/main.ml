@@ -57,8 +57,9 @@ let bench_claim_max =
   Test.make ~name:"lock.claim_max"
     (Staged.stage (fun () ->
          let l = Galois.Lock.create () in
+         let stamp = Galois.Lock.new_epoch () in
          for i = 1 to 64 do
-           ignore (Galois.Lock.claim_max l i)
+           ignore (Galois.Lock.claim_max l ~stamp i)
          done;
          Galois.Lock.force_clear l))
 
@@ -66,9 +67,10 @@ let bench_try_claim =
   Test.make ~name:"lock.try_claim+release"
     (Staged.stage (fun () ->
          let l = Galois.Lock.create () in
+         let stamp = Galois.Lock.new_epoch () in
          for _ = 1 to 64 do
-           ignore (Galois.Lock.try_claim l 1);
-           Galois.Lock.release l 1
+           ignore (Galois.Lock.try_claim l ~stamp 1);
+           Galois.Lock.release l ~stamp 1
          done))
 
 let bucket_app ?sink policy () =

@@ -34,11 +34,21 @@ type t = {
   minor_collections : int;
   major_collections : int;
   minor_words_per_commit : float;  (* minor_words / commits *)
+  rounds_per_s : float;  (* rounds / wall_s of the timing run *)
+  atomics_per_commit : float;  (* atomic mark updates / commits, timing run *)
+  spins : int;  (* pool wakeups served by the spin fast path, timing run *)
+  parks : int;  (* pool waits that fell back to the condvar, timing run *)
   digest : string;  (* schedule digest (hex), "-" when absent *)
 }
 
 let minor_words_per_commit ~minor_words ~commits =
   if commits <= 0 then 0.0 else minor_words /. float_of_int commits
+
+let rounds_per_s ~rounds ~wall_s =
+  if wall_s <= 0.0 then 0.0 else float_of_int rounds /. wall_s
+
+let atomics_per_commit ~atomics ~commits =
+  if commits <= 0 then 0.0 else float_of_int atomics /. float_of_int commits
 
 (* The three phase components must account for the whole wall time (the
    scheduler books everything outside inspect/select under other_s).
@@ -74,6 +84,10 @@ let fields t =
     ("minor_collections", I t.minor_collections);
     ("major_collections", I t.major_collections);
     ("minor_words_per_commit", F t.minor_words_per_commit);
+    ("rounds_per_s", F t.rounds_per_s);
+    ("atomics_per_commit", F t.atomics_per_commit);
+    ("spins", I t.spins);
+    ("parks", I t.parks);
     ("digest", S t.digest);
   ]
 
@@ -272,6 +286,10 @@ let of_json text =
         minor_collections = get_int fs "minor_collections";
         major_collections = get_int fs "major_collections";
         minor_words_per_commit = get_float fs "minor_words_per_commit";
+        rounds_per_s = get_float fs "rounds_per_s";
+        atomics_per_commit = get_float fs "atomics_per_commit";
+        spins = get_int fs "spins";
+        parks = get_int fs "parks";
         digest = get_string fs "digest";
       }
     in
@@ -321,6 +339,10 @@ let compare_to ~baseline current =
     d "minor_words" baseline.minor_words current.minor_words;
     d "minor_words_per_commit" baseline.minor_words_per_commit
       current.minor_words_per_commit;
+    (* Report-only sync-overhead metrics (no gate: both are
+       machine-load-sensitive). *)
+    d "rounds_per_s" baseline.rounds_per_s current.rounds_per_s;
+    d "atomics_per_commit" baseline.atomics_per_commit current.atomics_per_commit;
   ]
 
 let pp_delta ppf d =

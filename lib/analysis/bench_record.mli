@@ -29,11 +29,24 @@ type t = {
   minor_collections : int;
   major_collections : int;
   minor_words_per_commit : float;
+  rounds_per_s : float;  (** [rounds /. wall_s] of the timing run *)
+  atomics_per_commit : float;
+      (** atomic mark-word updates per committed task of the timing run —
+          the per-round synchronization overhead the round-stamped mark
+          protocol cuts *)
+  spins : int;  (** pool wakeups served by the spin fast path, timing run *)
+  parks : int;  (** pool waits that fell back to the condvar, timing run *)
   digest : string;  (** schedule digest (hex); ["-"] when absent *)
 }
 
 val minor_words_per_commit : minor_words:float -> commits:int -> float
 (** [minor_words /. commits], 0 when no commits. *)
+
+val rounds_per_s : rounds:int -> wall_s:float -> float
+(** [rounds /. wall_s], 0 when wall time is not positive. *)
+
+val atomics_per_commit : atomics:int -> commits:int -> float
+(** [atomics /. commits], 0 when no commits. *)
 
 val phases_consistent : t -> bool
 (** [inspect_s + select_s + other_s] equals [wall_s] up to float noise —
@@ -60,6 +73,8 @@ type delta = {
 
 val compare_to : baseline:t -> t -> delta list
 (** Deltas for the tracked metrics (wall time, phase times, minor
-    allocation, minor words per committed task), in that order. *)
+    allocation, minor words per committed task, rounds per second,
+    atomics per commit), in that order. The last two are report-only:
+    no regression gate keys off them. *)
 
 val pp_delta : Format.formatter -> delta -> unit

@@ -122,8 +122,11 @@ let serial ?(config = default_config) mesh = galois ~config ~policy:Galois.Polic
 (* PBBS-style deterministic variant: dynamic deterministic reservations,
    triangle mark words as min-reservation cells. *)
 let pbbs ?(config = default_config) ?granularity ~pool mesh =
-  let bound = 1 lsl 40 in
+  (* Priorities are encoded into the 30-bit task-id field of the mark
+     word; one lock epoch covers the whole refinement. *)
+  let bound = Galois.Lock.max_task_id in
   let encode prio = bound - prio in
+  let stamp = Galois.Lock.new_epoch () in
   (* The plan table is written concurrently during the reserve phase;
      Hashtbl needs external synchronization. Contention is negligible
      next to cavity computation. *)
@@ -148,7 +151,7 @@ let pbbs ?(config = default_config) ?granularity ~pool mesh =
     if is_bad config mesh tri then begin
       let acquired = ref [] in
       let acquire t =
-        ignore (Galois.Lock.claim_max t.Mesh.lock (encode prio));
+        ignore (Galois.Lock.claim_max t.Mesh.lock ~stamp (encode prio));
         acquired := t :: !acquired
       in
       acquire tri;
@@ -161,7 +164,7 @@ let pbbs ?(config = default_config) ?granularity ~pool mesh =
     | None -> Some [] (* nothing reserved: the triangle was already good *)
     | Some (plan, acquired) -> (
         let finish () =
-          List.iter (fun t -> Galois.Lock.release t.Mesh.lock (encode prio)) acquired
+          List.iter (fun t -> Galois.Lock.release t.Mesh.lock ~stamp (encode prio)) acquired
         in
         match plan with
         | None ->
@@ -175,7 +178,7 @@ let pbbs ?(config = default_config) ?granularity ~pool mesh =
               Some []
             end
             else begin
-              let mine t = Galois.Lock.holds t.Mesh.lock (encode prio) in
+              let mine t = Galois.Lock.holds t.Mesh.lock ~stamp (encode prio) in
               if List.for_all mine acquired then begin
                 let q = Mesh.add_point mesh newpt in
                 let fresh = Mesh.retriangulate ?split mesh ~register:(fun _ -> ()) cavity q in

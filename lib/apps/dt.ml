@@ -120,12 +120,13 @@ let pbbs ?granularity ~pool points =
   let st, fakes = prepare points in
   let bound = st.n + 1 in
   let prio i = bound - i in
+  let stamp = Galois.Lock.new_epoch () in
   let cavities = Array.make st.n None in
   let reserve i =
     if st.cont.(i) <> None then begin
       let acquired = ref [] in
       let acquire tri =
-        ignore (Galois.Lock.claim_max tri.Mesh.lock (prio i));
+        ignore (Galois.Lock.claim_max tri.Mesh.lock ~stamp (prio i));
         acquired := tri :: !acquired
       in
       match locate st ~acquire i with
@@ -142,7 +143,7 @@ let pbbs ?granularity ~pool points =
       match cavities.(i) with
       | None -> true
       | Some (cavity, acquired) ->
-          let mine tri = Galois.Lock.holds tri.Mesh.lock (prio i) in
+          let mine tri = Galois.Lock.holds tri.Mesh.lock ~stamp (prio i) in
           let ok = List.for_all mine acquired in
           if ok then begin
             let fresh = Mesh.retriangulate st.mesh ~register:(fun _ -> ()) cavity i in
@@ -150,7 +151,7 @@ let pbbs ?granularity ~pool points =
             st.cont.(i) <- None
           end;
           (* Release surviving marks either way. *)
-          List.iter (fun tri -> Galois.Lock.release tri.Mesh.lock (prio i)) acquired;
+          List.iter (fun tri -> Galois.Lock.release tri.Mesh.lock ~stamp (prio i)) acquired;
           cavities.(i) <- None;
           ok
   in

@@ -1,0 +1,71 @@
+(* Flat per-worker child accumulation for the DIG scheduler.
+
+   Workers buffer the tasks their committed window entries push; between
+   rounds the sequential glue drains every worker's buffer into the
+   generation-wide todo buffer that the next [form_generation] consumes.
+   A structure-of-arrays layout ((parent id, birth index, item) columns)
+   replaces the previous [(id, k, item) :: list] accumulation: pushes
+   into a warmed-up buffer allocate nothing, and [clear] keeps capacity,
+   so steady-state rounds do no per-child allocation at all. *)
+
+type 'a t = {
+  mutable parent : int array;  (* id of the pushing task *)
+  mutable birth : int array;  (* push index within the pushing task *)
+  mutable items : 'a array;
+  mutable len : int;
+}
+
+let create () = { parent = [||]; birth = [||]; items = [||]; len = 0 }
+
+let length t = t.len
+
+let clear t = t.len <- 0
+
+let grow t item =
+  let cap = max 8 (2 * t.len) in
+  let parent = Array.make cap 0 and birth = Array.make cap 0 in
+  (* The pushed item doubles as the filler, so an empty buffer needs no
+     dummy element (same trick as the Context scratch buffers). *)
+  let items = Array.make cap item in
+  Array.blit t.parent 0 parent 0 t.len;
+  Array.blit t.birth 0 birth 0 t.len;
+  Array.blit t.items 0 items 0 t.len;
+  t.parent <- parent;
+  t.birth <- birth;
+  t.items <- items
+
+let push t ~parent ~birth item =
+  let n = t.len in
+  if n = Array.length t.items then grow t item;
+  t.parent.(n) <- parent;
+  t.birth.(n) <- birth;
+  t.items.(n) <- item;
+  t.len <- n + 1
+
+let parent t i = t.parent.(i)
+let birth t i = t.birth.(i)
+let item t i = t.items.(i)
+
+(* Append [src]'s contents to [into] and clear [src] (capacity kept on
+   both sides). *)
+let transfer ~into src =
+  let n = src.len in
+  if n > 0 then begin
+    if into.len + n > Array.length into.items then begin
+      (* Grow [into] to at least the required size in one step. *)
+      let cap = max (max 8 (2 * into.len)) (into.len + n) in
+      let parent = Array.make cap 0 and birth = Array.make cap 0 in
+      let items = Array.make cap src.items.(0) in
+      Array.blit into.parent 0 parent 0 into.len;
+      Array.blit into.birth 0 birth 0 into.len;
+      Array.blit into.items 0 items 0 into.len;
+      into.parent <- parent;
+      into.birth <- birth;
+      into.items <- items
+    end;
+    Array.blit src.parent 0 into.parent into.len n;
+    Array.blit src.birth 0 into.birth into.len n;
+    Array.blit src.items 0 into.items into.len n;
+    into.len <- into.len + n;
+    src.len <- 0
+  end

@@ -35,6 +35,7 @@ type phase = Direct | Inspect | Commit
 type ('item, 'state) t = {
   mutable phase : phase;
   mutable task_id : int;
+  mutable stamp : int;  (* Lock epoch all claims run under *)
   mutable stats : Stats.worker;
   mutable neighborhood : Lock.t array;  (* first [neighborhood_size] valid *)
   mutable neighborhood_size : int;
@@ -52,6 +53,7 @@ let create () =
   {
     phase = Direct;
     task_id = 1;
+    stamp = 0;  (* claims before the first [reset] are a usage error *)
     stats = Stats.make_worker ();
     neighborhood = [||];
     neighborhood_size = 0;
@@ -63,9 +65,10 @@ let create () =
     on_defeat = no_defeat;
   }
 
-let reset t ~phase ~task_id ~saved =
+let reset t ~phase ~task_id ~stamp ~saved =
   t.phase <- phase;
   t.task_id <- task_id;
+  t.stamp <- stamp;
   t.neighborhood_size <- 0;
   t.past_failsafe <- false;
   t.saved <- saved;
@@ -92,11 +95,12 @@ let acquire t lock =
   match t.phase with
   | Direct ->
       t.stats.atomic_updates <- t.stats.atomic_updates + 1;
-      if Lock.try_claim lock t.task_id then add_lock t lock else raise Conflict
+      if Lock.try_claim lock ~stamp:t.stamp t.task_id then add_lock t lock
+      else raise Conflict
   | Inspect ->
       t.stats.atomic_updates <- t.stats.atomic_updates + 1;
       add_lock t lock;
-      (match Lock.claim_max lock t.task_id with
+      (match Lock.claim_max lock ~stamp:t.stamp t.task_id with
       | `Won 0 -> ()
       | `Won displaced -> t.on_defeat displaced
       | `Lost ->
@@ -107,7 +111,7 @@ let acquire t lock =
       (* The inspect phase of this very round acquired the same prefix,
          so the mark must still be ours; anything else is a scheduler
          invariant violation. *)
-      if not (Lock.holds lock t.task_id) then raise Conflict
+      if not (Lock.holds lock ~stamp:t.stamp t.task_id) then raise Conflict
 
 (* Integrate a location created by this task (e.g. a new mesh triangle).
    Under speculative execution the fresh lock is claimed immediately so
@@ -119,7 +123,9 @@ let register_new t lock =
   match t.phase with
   | Direct ->
       t.stats.atomic_updates <- t.stats.atomic_updates + 1;
-      if not (Lock.try_claim lock t.task_id) then
+      (* Strictly fresh: a stale mark from an earlier epoch proves some
+         other task saw this location, so it must not pass either. *)
+      if not (Lock.claim_fresh lock ~stamp:t.stamp t.task_id) then
         invalid_arg "Context.register_new: lock is not fresh";
       add_lock t lock
   | Inspect ->
@@ -153,6 +159,8 @@ let work t units = t.work_units <- t.work_units + units
 let phase t = t.phase
 
 let task_id t = t.task_id
+
+let stamp t = t.stamp
 
 (* Internal accessors for schedulers. *)
 
@@ -204,5 +212,5 @@ let set_stats t stats = t.stats <- stats
 
 let release_all t =
   for i = 0 to t.neighborhood_size - 1 do
-    Lock.release t.neighborhood.(i) t.task_id
+    Lock.release t.neighborhood.(i) ~stamp:t.stamp t.task_id
   done

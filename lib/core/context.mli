@@ -62,6 +62,10 @@ val work : (_, _) t -> int -> unit
 val phase : (_, _) t -> phase
 val task_id : (_, _) t -> int
 
+val stamp : (_, _) t -> int
+(** The {!Lock} epoch all this task's claims run under (set by the
+    scheduler via {!reset}). *)
+
 (** {2 Scheduler internals}
 
     Everything below is used by the schedulers in this library and is not
@@ -70,7 +74,12 @@ val task_id : (_, _) t -> int
     {!reset}, so a warmed-up worker runs tasks without allocating. *)
 
 val create : unit -> ('item, 'state) t
-val reset : ('item, 'state) t -> phase:phase -> task_id:int -> saved:'state option -> unit
+
+val reset :
+  ('item, 'state) t ->
+  phase:phase -> task_id:int -> stamp:int -> saved:'state option -> unit
+(** [stamp] is the lock epoch (from {!Lock.new_epoch}) the task's
+    acquisitions are made under. *)
 
 val neighborhood_array : (_, _) t -> Lock.t array
 (** Fresh array of the acquired locks, in acquisition order. *)

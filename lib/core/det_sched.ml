@@ -18,7 +18,6 @@
                     mark; marks only grow within a round). Committed
                     tasks run their write phase; failed tasks keep their
                     place ahead of untried tasks, preserving id order.
-                    All tasks then clear their surviving marks.
 
    Determinism argument, in code terms: the window contents are a prefix
    of a deterministically ordered sequence; the marks after inspect are a
@@ -29,14 +28,19 @@
    The window size for the next round depends only on the (deterministic)
    commit count — the paper's parameterless adaptive windowing.
 
-   Steady-state rounds are allocation-free: the pending set is an
-   in-place [Pending] deque over the generation array (no per-round
-   window/remainder lists), the defeat table is a flat array indexed by
-   [id - generation base] (generation ids are dense) with round stamps
-   instead of per-round clearing, and tasks reuse their neighborhood /
-   child arrays across retries via the [Context] scratch buffers. The
-   schedule itself is bit-for-bit the one the original list-based
-   implementation produced — test/test_digest_fixture.ml pins it. *)
+   Steady-state rounds are allocation-free and release-free: the pending
+   set is an in-place [Pending] deque over the generation array (window =
+   index range, descending compaction), the defeat table is a flat array
+   indexed by [id - generation base] (generation ids are dense) with
+   round stamps instead of per-round clearing, tasks reuse their
+   neighborhood / child arrays across retries via the [Context] scratch
+   buffers, children accumulate in flat per-worker [Child_buffer]s
+   instead of consed lists, and every round claims marks under a fresh
+   [Lock] epoch — marks surviving the previous round are stale by
+   construction, so the former end-of-select [Lock.release] pass (one CAS
+   per held lock per task per round) is gone entirely. The schedule
+   itself is bit-for-bit the one the original list-based implementation
+   produced — test/test_digest_fixture.ml pins it. *)
 
 type ('item, 'state) task = {
   item : 'item;
@@ -104,43 +108,54 @@ let adapt_window ~target_ratio ~window ~committed ~w_use =
   else max 32 (int_of_float (float_of_int window *. ratio /. target_ratio) + 1)
 
 (* Deterministic id assignment (§3.2). Children are sorted by
-   (parent id, birth index); ids are their ranks offset by a counter that
-   grows monotonically across generations. With [static_id], ids come
-   from the application's fixed task universe instead (§3.3, third
-   optimization) and duplicates collapse to a single task. Either way the
-   assigned ids are dense in [base, base + count) — the defeat table
-   below indexes on exactly that. *)
-let form_generation ~static_id ~spread ~next_id todo =
-  match todo with
-  | [] -> [||]
-  | _ -> (
-      match static_id with
-      | Some key_of ->
-          let arr = Array.of_list (List.map (fun (_, _, item) -> (key_of item, item)) todo) in
-          Array.sort (fun (a, _) (b, _) -> compare a b) arr;
-          let tasks = ref [] and count = ref 0 in
-          Array.iteri
-            (fun i (key, item) ->
-              let duplicate = i > 0 && fst arr.(i - 1) = key in
-              if not duplicate then begin
-                incr count;
-                tasks := item :: !tasks
-              end)
-            arr;
-          let base = !next_id in
-          next_id := base + !count;
-          let out = Array.of_list (List.rev !tasks) in
-          spread_permute spread (Array.mapi (fun i item -> make_task (base + i) item) out)
-      | None ->
-          let arr = Array.of_list todo in
-          Array.sort
-            (fun (p1, k1, _) (p2, k2, _) ->
-              if p1 <> p2 then compare (p1 : int) p2 else compare (k1 : int) k2)
-            arr;
-          let base = !next_id in
-          next_id := base + Array.length arr;
-          spread_permute spread
-            (Array.mapi (fun i (_, _, item) -> make_task (base + i) item) arr))
+   (parent id, birth index) — unique per child, so the order is total
+   and independent of which worker buffered what. Ids are the sorted
+   ranks offset by a counter that grows monotonically across
+   generations. With [static_id], ids come from the application's fixed
+   task universe instead (§3.3, third optimization) and duplicates
+   collapse to a single task. Either way the assigned ids are dense in
+   [base, base + count) — the defeat table below indexes on exactly
+   that. *)
+let form_generation ~static_id ~spread ~next_id (todo : 'item Child_buffer.t) =
+  let n = Child_buffer.length todo in
+  if n = 0 then [||]
+  else
+    match static_id with
+    | Some key_of ->
+        let arr =
+          Array.init n (fun i ->
+              let item = Child_buffer.item todo i in
+              (key_of item, item))
+        in
+        Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+        let tasks = ref [] and count = ref 0 in
+        Array.iteri
+          (fun i (key, item) ->
+            let duplicate = i > 0 && fst arr.(i - 1) = key in
+            if not duplicate then begin
+              incr count;
+              tasks := item :: !tasks
+            end)
+          arr;
+        let base = !next_id in
+        next_id := base + !count;
+        let out = Array.of_list (List.rev !tasks) in
+        spread_permute spread (Array.mapi (fun i item -> make_task (base + i) item) out)
+    | None ->
+        let idx = Array.init n (fun i -> i) in
+        Array.sort
+          (fun i j ->
+            let p1 = Child_buffer.parent todo i and p2 = Child_buffer.parent todo j in
+            if p1 <> p2 then compare (p1 : int) p2
+            else
+              compare
+                (Child_buffer.birth todo i : int)
+                (Child_buffer.birth todo j))
+          idx;
+        let base = !next_id in
+        next_id := base + n;
+        spread_permute spread
+          (Array.mapi (fun r i -> make_task (base + r) (Child_buffer.item todo i)) idx)
 
 (* Guided chunk size for dynamic parallel iteration: aim for several
    grabs per worker (cheap load balancing against uneven task costs)
@@ -193,6 +208,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
         Context.set_stats ctx workers.(w);
         ctx)
   in
+  let sync0 = Parallel.Domain_pool.sync_counters pool in
   let rounds = ref 0 and generations = ref 0 in
   let next_id = ref 1 in
   (* Defeat table: generation ids are dense in [gen_base, gen_base +
@@ -209,8 +225,8 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
     if s >= 0 && s < Array.length !slot_round && !slot_round.(s) = !rounds then
       !slot_task.(s).alive <- false
     else
-      (* Marks are cleared every round, so a displaced id must belong
-         to the current window. *)
+      (* Each round marks under its own fresh lock epoch, so a displaced
+         id must belong to the current window. *)
       assert false
   in
   let round_records = ref [] in
@@ -223,16 +239,18 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
      process-global counter and would differ between two runs in the same
      process. *)
   let digest = ref Trace_digest.seed in
-  (* Per-worker buffers of (parent id, birth index, item). *)
-  let child_buffers = Array.make threads [] in
-  let todo = ref (Array.to_list (Array.mapi (fun i item -> (0, i, item)) items)) in
+  (* Per-worker flat buffers of (parent id, birth index, item) triples,
+     drained into [todo] by the sequential glue each round. *)
+  let child_buffers = Array.init threads (fun _ -> Child_buffer.create ()) in
+  let todo = Child_buffer.create () in
+  Array.iteri (fun i item -> Child_buffer.push todo ~parent:0 ~birth:i item) items;
   let pending = Pending.create () in
   let window = ref 0 in
   let t0 = Clock.now_s () in
-  while !todo <> [] do
+  while Child_buffer.length todo > 0 do
     incr generations;
-    let generation = form_generation ~static_id ~spread ~next_id !todo in
-    todo := [];
+    let generation = form_generation ~static_id ~spread ~next_id todo in
+    Child_buffer.clear todo;
     let gen_len = Array.length generation in
     gen_base := !next_id - gen_len;
     if gen_len > Array.length !slot_round && gen_len > 0 then begin
@@ -247,6 +265,10 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
       window := (match initial_window with Some w -> max 1 w | None -> max 32 ((gen_len + 7) / 8));
     while Pending.length pending > 0 do
       incr rounds;
+      (* A fresh lock epoch per round: every mark the previous round
+         left behind is stale — free by construction — for this round's
+         claims, which is what lets selectAndExec skip releasing. *)
+      let stamp = Lock.new_epoch () in
       (* --- calculateWindow / getWindowOfTasks --------------------- *)
       let w_use = min !window (Pending.length pending) in
       for i = 0 to w_use - 1 do
@@ -271,7 +293,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
       par_iter pool ~threads ~workers w_use (fun w i ->
           let ctx = contexts.(w) in
           let t = Pending.get pending i in
-          Context.reset ctx ~phase:Inspect ~task_id:t.id ~saved:None;
+          Context.reset ctx ~phase:Inspect ~task_id:t.id ~stamp ~saved:None;
           Context.set_on_defeat ctx defeat;
           workers.(w).inspections <- workers.(w).inspections + 1;
           (match operator ctx t.item with
@@ -302,17 +324,22 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
         emit
           (Obs.Phase_time { round = !rounds; phase = Obs.Inspect; dt_s = dt_inspect })
       end;
-      (* --- selectAndExec -------------------------------------------- *)
+      (* --- selectAndExec --------------------------------------------
+         Surviving marks are NOT released: the next round's fresh epoch
+         makes them stale wholesale, deleting one CAS per held lock per
+         task per round from the former mark-clearing pass. *)
       let t_select = Clock.now_s () in
       par_iter pool ~threads ~workers w_use (fun w i ->
           let stats = workers.(w) in
           let ctx = contexts.(w) in
+          let buf = child_buffers.(w) in
           let t = Pending.get pending i in
           let selected = t.alive in
           if validate then begin
             let marks_ok = ref true in
             for k = 0 to t.n_locks - 1 do
-              if not (Lock.holds t.neighborhood.(k) t.id) then marks_ok := false
+              if not (Lock.holds t.neighborhood.(k) ~stamp t.id) then
+                marks_ok := false
             done;
             if selected <> !marks_ok then
               failwith "Det_sched: defeat flags disagree with neighborhood marks"
@@ -320,33 +347,25 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
           if selected then begin
             if t.pure then begin
               for k = 0 to t.n_pure_children - 1 do
-                child_buffers.(w) <-
-                  (t.id, k, t.pure_children.(k)) :: child_buffers.(w)
+                Child_buffer.push buf ~parent:t.id ~birth:k t.pure_children.(k)
               done;
               stats.pushes <- stats.pushes + t.n_pure_children;
               stats.work <- stats.work + t.task_work
             end
             else begin
-              Context.reset ctx ~phase:Commit ~task_id:t.id ~saved:t.saved;
+              Context.reset ctx ~phase:Commit ~task_id:t.id ~stamp ~saved:t.saved;
               operator ctx t.item;
               stats.work <- stats.work + Context.work_units ctx;
               t.commit_work <- Context.work_units ctx;
               let n = Context.pushed_count ctx in
               for k = 0 to n - 1 do
-                child_buffers.(w) <-
-                  (t.id, k, Context.pushed_get ctx k) :: child_buffers.(w)
+                Child_buffer.push buf ~parent:t.id ~birth:k (Context.pushed_get ctx k)
               done;
               stats.pushes <- stats.pushes + n
             end;
             stats.committed <- stats.committed + 1
           end
-          else stats.aborted <- stats.aborted + 1;
-          (* Clear the marks this task still holds, readying the
-             locations for the next round. *)
-          for k = 0 to t.n_locks - 1 do
-            Lock.release t.neighborhood.(k) t.id
-          done;
-          stats.atomic_updates <- stats.atomic_updates + t.n_locks);
+          else stats.aborted <- stats.aborted + 1);
       let dt_select = Clock.elapsed_s t_select in
       select_s := !select_s +. dt_select;
       (* --- sequential glue between rounds ---------------------------
@@ -364,9 +383,8 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
       digest := Trace_digest.fold_int !digest !n_committed;
       let round_pushes = ref 0 in
       for w = 0 to threads - 1 do
-        round_pushes := !round_pushes + List.length child_buffers.(w);
-        todo := List.rev_append child_buffers.(w) !todo;
-        child_buffers.(w) <- []
+        round_pushes := !round_pushes + Child_buffer.length child_buffers.(w);
+        Child_buffer.transfer ~into:todo child_buffers.(w)
       done;
       if tracing then begin
         emit
@@ -416,6 +434,14 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
     done
   done;
   let time_s = Clock.elapsed_s t0 in
+  (* Attribute the pool's spin/park deltas over this run to the workers
+     the policy used (extra idle pool workers go unreported). *)
+  let sync1 = Parallel.Domain_pool.sync_counters pool in
+  for w = 0 to threads - 1 do
+    let s0, p0 = sync0.(w) and s1, p1 = sync1.(w) in
+    workers.(w).Stats.spins <- s1 - s0;
+    workers.(w).Stats.parks <- p1 - p0
+  done;
   if tracing then
     Array.iteri
       (fun w (st : Stats.worker) ->
@@ -424,7 +450,8 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
              { worker = w; committed = st.committed; aborted = st.aborted;
                acquires = st.acquires; atomics = st.atomic_updates;
                work = st.work; pushes = st.pushes;
-               inspections = st.inspections; chunks = st.chunks }))
+               inspections = st.inspections; chunks = st.chunks;
+               spins = st.spins; parks = st.parks }))
       workers;
   let stats =
     Stats.merge ~digest:!digest ~threads ~rounds:!rounds ~generations:!generations ~time_s

@@ -1,11 +1,43 @@
 (* Abstract locations (\S2 of the paper).
 
    Every shared abstract object (graph node, triangle, ...) owns one lock
-   word. The word holds 0 when free, or the id of the task currently
-   marking the location. Both schedulers synchronize exclusively through
-   these words, matching the Galois system's per-object lock design. *)
+   word. The word holds 0 when free, or a packed (stamp, task id) pair:
+   the low [id_bits] carry the id of the task currently marking the
+   location, the bits above them the epoch stamp under which the mark was
+   written. Claims are made under an epoch obtained from [new_epoch]; a
+   mark whose stamp differs from the claimant's is *stale* and treated
+   exactly like a free word. Staleness-by-construction is what lets the
+   DIG scheduler skip the end-of-round mark-clearing pass: opening a new
+   epoch invalidates every surviving mark in O(1), with no CAS per held
+   lock. Both schedulers synchronize exclusively through these words,
+   matching the Galois system's per-object lock design. *)
 
 type t = { mark : int Atomic.t; lid : int }
+
+(* 30 bits of task id leave 32 bits of epoch stamp: the packed word
+   (stamp lsl 30) lor id stays below 2^62 and therefore within OCaml's
+   63-bit native int on 64-bit platforms. *)
+let id_bits = 30
+let max_task_id = (1 lsl id_bits) - 1
+let id_mask = max_task_id
+let max_stamp = (1 lsl 32) - 1
+
+let pack ~stamp task_id =
+  if task_id < 1 || task_id > max_task_id then
+    invalid_arg "Lock: task id out of range";
+  if stamp < 1 || stamp > max_stamp then invalid_arg "Lock: stamp out of range";
+  (stamp lsl id_bits) lor task_id
+
+(* Epochs come from a process-global counter so that any two concurrent
+   users (scheduler rounds, speculative runs, PBBS reservation loops)
+   are automatically in distinct epochs and cannot mistake each other's
+   marks for their own. *)
+let next_stamp = Atomic.make 1
+
+let new_epoch () =
+  let s = Atomic.fetch_and_add next_stamp 1 in
+  if s > max_stamp then invalid_arg "Lock.new_epoch: stamp space exhausted";
+  s
 
 let next_lid = Atomic.make 0
 
@@ -27,36 +59,59 @@ let create_array n = Array.init n (fun _ -> create ())
 
 let id t = t.lid
 
-let mark t = Atomic.get t.mark
+let raw t = Atomic.get t.mark
+
+(* The id field of the current mark word, whatever its epoch (0 = free).
+   Stale marks still decode: callers that care about epochs use the
+   stamped operations below, which never confuse epochs. *)
+let mark t = Atomic.get t.mark land id_mask
 
 (* Fig. 1b [writeMarks]: claim the location for [task_id] if it is free
-   or already ours. Returns false on conflict. *)
-let try_claim t task_id =
+   — including stale-marked, which is free by construction — or already
+   ours under this epoch. Returns false on a same-epoch conflict. *)
+let try_claim t ~stamp task_id =
+  let packed = pack ~stamp task_id in
   let cur = Atomic.get t.mark in
-  cur = task_id || (cur = 0 && Atomic.compare_and_set t.mark 0 task_id)
+  cur = packed
+  || ((cur lsr id_bits) <> stamp && Atomic.compare_and_set t.mark cur packed)
+
+(* Strict freshness claim for [Context.register_new]: the word must be
+   literally 0 — never written, or explicitly cleared. A stale mark from
+   an earlier epoch means some other task has seen this location, which
+   is exactly what "fresh" rules out, so staleness does NOT count as
+   free here. *)
+let claim_fresh t ~stamp task_id =
+  let packed = pack ~stamp task_id in
+  Atomic.compare_and_set t.mark 0 packed
 
 (* Fig. 3 [writeMarksMax]: deterministically raise the mark to the
-   maximum of its current value and [task_id]. Never fails to complete:
+   maximum of its current value and [task_id], within this epoch; a
+   stale or free word loses to any claimant. Never fails to complete:
    determinism requires that every marking attempt runs even after the
    task has already lost some other location (§3.2). The result reports
    who lost the location, so the inspect phase can maintain the paper's
    commit-prevention flags (§3.3). *)
-let claim_max t task_id =
+let claim_max t ~stamp task_id =
+  let packed = pack ~stamp task_id in
   let rec go () =
     let cur = Atomic.get t.mark in
-    if cur = task_id then `Won 0
-    else if cur > task_id then `Lost
-    else if Atomic.compare_and_set t.mark cur task_id then `Won cur
+    let cur_id = if cur lsr id_bits = stamp then cur land id_mask else 0 in
+    if cur_id = task_id then `Won 0
+    else if cur_id > task_id then `Lost
+    else if Atomic.compare_and_set t.mark cur packed then `Won cur_id
     else go ()
   in
   go ()
 
-let holds t task_id = Atomic.get t.mark = task_id
+let holds t ~stamp task_id = Atomic.get t.mark = pack ~stamp task_id
 
-(* Release the location if we hold it. Used both by non-deterministic
-   rollback/commit and by end-of-round mark clearing. *)
-let release t task_id =
-  let cur = Atomic.get t.mark in
-  if cur = task_id then ignore (Atomic.compare_and_set t.mark task_id 0)
+(* Release the location if we hold it under this epoch. Used by
+   non-deterministic rollback/commit and by the PBBS reservation loops;
+   the DIG scheduler no longer releases anything — its next round opens
+   a new epoch instead. *)
+let release t ~stamp task_id =
+  let packed = pack ~stamp task_id in
+  if Atomic.get t.mark = packed then
+    ignore (Atomic.compare_and_set t.mark packed 0)
 
 let force_clear t = Atomic.set t.mark 0

@@ -21,6 +21,11 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
   let workers = Array.init threads (fun _ -> Stats.make_worker ()) in
   let records = Array.make threads [] in
   let ws = Workset.create items in
+  (* One lock epoch for the whole run: the speculative scheduler really
+     releases its marks (rollback needs to), so staleness is not used,
+     but stamped claims keep the fast path shared with the DIG rounds. *)
+  let stamp = Lock.new_epoch () in
+  let sync0 = Parallel.Domain_pool.sync_counters pool in
   let t0 = Clock.now_s () in
   Parallel.Domain_pool.run pool (fun w ->
       if w >= threads then ()
@@ -54,7 +59,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
         match Workset.take ws with
         | None -> ()
         | Some item ->
-            Context.reset ctx ~phase:Direct ~task_id:(w + 1) ~saved:None;
+            Context.reset ctx ~phase:Direct ~task_id:(w + 1) ~stamp ~saved:None;
             (match operator ctx item with
             | () ->
                 consecutive_aborts := 0;
@@ -80,6 +85,12 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
       in
       loop ());
   let time_s = Clock.elapsed_s t0 in
+  let sync1 = Parallel.Domain_pool.sync_counters pool in
+  for w = 0 to threads - 1 do
+    let s0, p0 = sync0.(w) and s1, p1 = sync1.(w) in
+    workers.(w).Stats.spins <- s1 - s0;
+    workers.(w).Stats.parks <- p1 - p0
+  done;
   let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
   emit (Obs.Phase_time { round = 0; phase = Obs.Execute; dt_s = time_s });
   Array.iteri
@@ -89,7 +100,8 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
            { worker = w; committed = st.committed; aborted = st.aborted;
              acquires = st.acquires; atomics = st.atomic_updates;
              work = st.work; pushes = st.pushes;
-             inspections = st.inspections; chunks = st.chunks }))
+             inspections = st.inspections; chunks = st.chunks;
+             spins = st.spins; parks = st.parks }))
     workers;
   let stats =
     Stats.merge ~threads ~rounds:0 ~generations:0 ~time_s

@@ -13,10 +13,12 @@ let run ?(record = false) ?(sink = Obs.null) ~operator items =
   let queue = Queue.create () in
   Array.iter (fun x -> Queue.add x queue) items;
   let records = ref [] in
+  (* One lock epoch for the whole run; no pool, so spins/parks stay 0. *)
+  let stamp = Lock.new_epoch () in
   let t0 = Clock.now_s () in
   while not (Queue.is_empty queue) do
     let item = Queue.pop queue in
-    Context.reset ctx ~phase:Direct ~task_id:1 ~saved:None;
+    Context.reset ctx ~phase:Direct ~task_id:1 ~stamp ~saved:None;
     operator ctx item;
     (* No concurrency: Conflict cannot be raised, every task commits. *)
     let neighborhood = Context.neighborhood_count ctx in
@@ -45,7 +47,8 @@ let run ?(record = false) ?(sink = Obs.null) ~operator items =
        { worker = 0; committed = stats.committed; aborted = stats.aborted;
          acquires = stats.acquires; atomics = stats.atomic_updates;
          work = stats.work; pushes = stats.pushes;
-         inspections = stats.inspections; chunks = stats.chunks });
+         inspections = stats.inspections; chunks = stats.chunks;
+         spins = stats.spins; parks = stats.parks });
   let stats =
     Stats.merge ~threads:1 ~rounds:0 ~generations:0 ~time_s
       ~phases:(Stats.breakdown ~inspect_s:0.0 ~select_s:time_s ~time_s)

@@ -14,6 +14,8 @@ type worker = {
   mutable pushes : int;  (* tasks created *)
   mutable inspections : int;  (* deterministic-scheduler inspect executions *)
   mutable chunks : int;  (* chunk grabs in dynamic parallel iteration *)
+  mutable spins : int;  (* pool wakeups served by the spin fast path *)
+  mutable parks : int;  (* pool waits that fell back to the condvar *)
 }
 
 let make_worker () =
@@ -26,6 +28,8 @@ let make_worker () =
     pushes = 0;
     inspections = 0;
     chunks = 0;
+    spins = 0;
+    parks = 0;
   }
 
 (* Wall-clock breakdown of a run across scheduler phases. For the DIG
@@ -54,6 +58,8 @@ type t = {
   work_units : int;
   created : int;
   inspected : int;
+  spins : int;  (* pool-synchronization wakeups served by spinning *)
+  parks : int;  (* pool-synchronization waits that parked on a condvar *)
   rounds : int;  (* deterministic scheduler rounds (0 for nondet/serial) *)
   generations : int;  (* sort generations of the deterministic scheduler *)
   digest : Trace_digest.t;
@@ -74,7 +80,9 @@ let merge ?(digest = Trace_digest.absent) ?phases ~threads ~rounds ~generations
   and atomics = ref 0
   and work_units = ref 0
   and created = ref 0
-  and inspected = ref 0 in
+  and inspected = ref 0
+  and spins = ref 0
+  and parks = ref 0 in
   Array.iter
     (fun w ->
       commits := !commits + w.committed;
@@ -83,7 +91,9 @@ let merge ?(digest = Trace_digest.absent) ?phases ~threads ~rounds ~generations
       atomics := !atomics + w.atomic_updates;
       work_units := !work_units + w.work;
       created := !created + w.pushes;
-      inspected := !inspected + w.inspections)
+      inspected := !inspected + w.inspections;
+      spins := !spins + w.spins;
+      parks := !parks + w.parks)
     workers;
   {
     threads;
@@ -94,6 +104,8 @@ let merge ?(digest = Trace_digest.absent) ?phases ~threads ~rounds ~generations
     work_units = !work_units;
     created = !created;
     inspected = !inspected;
+    spins = !spins;
+    parks = !parks;
     rounds;
     generations;
     digest;
@@ -116,6 +128,8 @@ let add a b =
     work_units = a.work_units + b.work_units;
     created = a.created + b.created;
     inspected = a.inspected + b.inspected;
+    spins = a.spins + b.spins;
+    parks = a.parks + b.parks;
     rounds = a.rounds + b.rounds;
     generations = a.generations + b.generations;
     digest = Trace_digest.combine a.digest b.digest;
@@ -138,6 +152,8 @@ let zero threads =
     work_units = 0;
     created = 0;
     inspected = 0;
+    spins = 0;
+    parks = 0;
     rounds = 0;
     generations = 0;
     digest = Trace_digest.absent;
@@ -166,6 +182,7 @@ let pp_digest ppf d =
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>threads=%d commits=%d aborts=%d (ratio %.4f)@ acquires=%d atomics=%d work=%d created=%d@ \
-     inspections=%d rounds=%d generations=%d%a time=%.4fs@ %a@]"
+     inspections=%d rounds=%d generations=%d spins=%d parks=%d%a time=%.4fs@ %a@]"
     t.threads t.commits t.aborts (abort_ratio t) t.acquired t.atomics t.work_units t.created
-    t.inspected t.rounds t.generations pp_digest t.digest t.time_s pp_phases t.phases
+    t.inspected t.rounds t.generations t.spins t.parks pp_digest t.digest t.time_s
+    pp_phases t.phases

@@ -13,11 +13,17 @@ type worker = {
   mutable pushes : int;
   mutable inspections : int;
   mutable chunks : int;
+  mutable spins : int;
+  mutable parks : int;
 }
 (** Per-worker mutable counters; owned exclusively by one worker during a
     parallel section. [chunks] counts chunk grabs in the deterministic
     scheduler's dynamic parallel iteration — a load-balance signal
-    surfaced through the [Worker_counters] observability event. *)
+    surfaced through the [Worker_counters] observability event.
+    [spins]/[parks] mirror the {!Parallel.Domain_pool} sync counters:
+    wakeups served by the bounded spin fast path vs. waits that fell
+    back to the mutex/condvar slow path. Both are timing-dependent and
+    therefore non-deterministic. *)
 
 val make_worker : unit -> worker
 
@@ -48,6 +54,8 @@ type t = {
   work_units : int;
   created : int;
   inspected : int;
+  spins : int;  (** pool-sync wakeups served by the spin fast path *)
+  parks : int;  (** pool-sync waits that parked on a condvar *)
   rounds : int;
   generations : int;
   digest : Trace_digest.t;

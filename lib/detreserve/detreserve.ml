@@ -41,7 +41,7 @@ type stats = { rounds : int; commits : int; retries : int; time_s : float }
 let speculative_for ?(granularity = 64) ~pool ~n ~reserve ~commit () =
   if granularity <= 0 then invalid_arg "Detreserve.speculative_for: granularity must be positive";
   let rounds = ref 0 and commits = ref 0 and retries = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Galois.Clock.now_s () in
   (* [remaining] holds unfinished item indices in priority order. *)
   let remaining = ref (Array.init n Fun.id) in
   while Array.length !remaining > 0 do
@@ -64,7 +64,7 @@ let speculative_for ?(granularity = 64) ~pool ~n ~reserve ~commit () =
     let rest = Array.sub items w (Array.length items - w) in
     remaining := Array.append failed rest
   done;
-  { rounds = !rounds; commits = !commits; retries = !retries; time_s = Unix.gettimeofday () -. t0 }
+  { rounds = !rounds; commits = !commits; retries = !retries; time_s = Galois.Clock.elapsed_s t0 }
 
 (* Variant with dynamically created work (PBBS dmr-style): committing an
    item may return children, which are appended behind all current work
@@ -73,7 +73,7 @@ let speculative_for_dynamic ?(granularity = 64) ~pool ~initial ~reserve ~commit 
   if granularity <= 0 then
     invalid_arg "Detreserve.speculative_for_dynamic: granularity must be positive";
   let rounds = ref 0 and commits = ref 0 and retries = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Galois.Clock.now_s () in
   let next_priority = ref (Array.length initial) in
   let remaining = ref (Array.mapi (fun i x -> (i, x)) initial) in
   while Array.length !remaining > 0 do
@@ -112,4 +112,4 @@ let speculative_for_dynamic ?(granularity = 64) ~pool ~initial ~reserve ~commit 
     let rest = Array.sub items w (Array.length items - w) in
     remaining := Array.concat [ failed; rest; Array.of_list fresh ]
   done;
-  { rounds = !rounds; commits = !commits; retries = !retries; time_s = Unix.gettimeofday () -. t0 }
+  { rounds = !rounds; commits = !commits; retries = !retries; time_s = Galois.Clock.elapsed_s t0 }

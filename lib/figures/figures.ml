@@ -602,7 +602,9 @@ let phase_breakdown (events : Obs.stamped list) =
   and window_sum = ref 0
   and committed = ref 0
   and defeated = ref 0
-  and adaptations = ref 0 in
+  and adaptations = ref 0
+  and spins = ref 0
+  and parks = ref 0 in
   List.iter
     (fun { Obs.event; _ } ->
       match event with
@@ -622,6 +624,9 @@ let phase_breakdown (events : Obs.stamped list) =
           committed := !committed + c;
           defeated := !defeated + d
       | Obs.Window_adapted _ -> incr adaptations
+      | Obs.Worker_counters { spins = s; parks = p; _ } ->
+          spins := !spins + s;
+          parks := !parks + p
       | _ -> ())
     events;
   let wall =
@@ -659,6 +664,11 @@ let phase_breakdown (events : Obs.stamped list) =
           (if attempts = 0 then "-"
            else Analysis.Table.f3 (float_of_int !committed /. float_of_int attempts));
         info_row "window adaptations" (Analysis.Table.i !adaptations);
+        (* Pool sync split (non-deterministic, machine-load-sensitive):
+           how many SPMD wakeups the bounded spin served vs. how many
+           fell back to parking on the condvar. *)
+        info_row "pool spins (fast wakeups)" (Analysis.Table.i !spins);
+        info_row "pool parks (condvar waits)" (Analysis.Table.i !parks);
       ])
 
 (* The traced-run figure: one deterministic bfs run with an in-memory

@@ -31,6 +31,8 @@ type event =
       pushes : int;
       inspections : int;
       chunks : int;
+      spins : int;
+      parks : int;
     }
   | Run_end of { commits : int; rounds : int; generations : int }
 
@@ -66,12 +68,13 @@ let pp_event ppf = function
       Fmt.pf ppf "chunk-sized round=%d tasks=%d chunk=%d" round tasks chunk
   | Worker_counters
       { worker; committed; aborted; acquires; atomics; work; pushes;
-        inspections; chunks } ->
+        inspections; chunks; spins; parks } ->
       Fmt.pf ppf
         "worker-counters worker=%d committed=%d aborted=%d acquires=%d \
-         atomics=%d work=%d pushes=%d inspections=%d chunks=%d"
+         atomics=%d work=%d pushes=%d inspections=%d chunks=%d spins=%d \
+         parks=%d"
         worker committed aborted acquires atomics work pushes inspections
-        chunks
+        chunks spins parks
   | Run_end { commits; rounds; generations } ->
       Fmt.pf ppf "run-end commits=%d rounds=%d generations=%d" commits rounds
         generations
@@ -196,12 +199,13 @@ module Jsonl = struct
          [ ("round", I round); ("tasks", I tasks); ("chunk", I chunk) ])
     | Worker_counters
         { worker; committed; aborted; acquires; atomics; work; pushes;
-          inspections; chunks } ->
+          inspections; chunks; spins; parks } ->
         ("worker_counters",
          [ ("worker", I worker); ("committed", I committed);
            ("aborted", I aborted); ("acquires", I acquires);
            ("atomics", I atomics); ("work", I work); ("pushes", I pushes);
-           ("inspections", I inspections); ("chunks", I chunks) ])
+           ("inspections", I inspections); ("chunks", I chunks);
+           ("spins", I spins); ("parks", I parks) ])
     | Run_end { commits; rounds; generations } ->
         ("run_end",
          [ ("commits", I commits); ("rounds", I rounds);
@@ -430,7 +434,9 @@ module Jsonl = struct
             atomics = get_int fs "atomics"; work = get_int fs "work";
             pushes = get_int fs "pushes";
             inspections = get_int fs "inspections";
-            chunks = get_int fs "chunks" }
+            chunks = get_int fs "chunks";
+            spins = get_int fs "spins";
+            parks = get_int fs "parks" }
     | "run_end" ->
         Run_end
           { commits = get_int fs "commits"; rounds = get_int fs "rounds";

@@ -64,11 +64,15 @@ type event =
       pushes : int;
       inspections : int;
       chunks : int;
+      spins : int;
+      parks : int;
     }
       (** End-of-run per-worker totals ([chunks] counts dynamic
-          chunk grabs in the DIG parallel phases). Task→worker
-          attribution depends on timing, so these are not
-          deterministic. *)
+          chunk grabs in the DIG parallel phases; [spins]/[parks] count
+          pool-synchronization wakeups served by the spin fast path vs.
+          waits that parked on the condvar slow path). Task→worker
+          attribution and synchronization behavior depend on timing, so
+          these are not deterministic. *)
   | Run_end of { commits : int; rounds : int; generations : int }
       (** Last event of a run. *)
 

@@ -1,36 +1,86 @@
-(* A reusable sense-reversing barrier.
+(* A reusable phase-counting barrier with a spin-then-park wait.
 
-   The container this reproduction runs in may have fewer cores than
-   participating domains, so the barrier blocks on a condition variable
-   instead of spinning; spinning with oversubscribed domains serializes
-   horribly. *)
+   Arrival is a single fetch-and-add on an atomic counter; the last
+   arriver resets the counter and bumps the atomic phase word, releasing
+   everyone. Waiters spin a bounded number of [Domain.cpu_relax]
+   iterations on the phase word before falling back to the mutex/condvar
+   slow path, so barrier crossings cost no mutex round-trip when cores
+   are available, yet the container this reproduction runs in — often
+   fewer cores than domains — never spins unboundedly.
+
+   Reuse safety: the last arriver resets [arrived] *before* bumping
+   [phase]. A party can only re-enter [wait] after observing the bump
+   (that is how it left the previous phase), so with SC atomics its next
+   arrival increment is ordered after the reset and counts toward the
+   new phase.
+
+   Lost-wakeup freedom follows the same protocol as [Domain_pool]: a
+   parking waiter increments [parked] and re-checks the phase word while
+   holding the mutex; the releaser bumps the phase first and reads
+   [parked] afterwards, broadcasting under the mutex when it is
+   non-zero. *)
 
 type t = {
+  parties : int;
+  spin : int;
   mutex : Mutex.t;
   cond : Condition.t;
-  parties : int;
-  mutable arrived : int;
-  mutable sense : bool;
+  phase : int Atomic.t;
+  arrived : int Atomic.t;
+  parked : int Atomic.t;
 }
 
-let create parties =
+let default_spin = 512
+
+(* Same oversubscription rule as [Domain_pool]: a spin budget only when
+   all parties can be on cores at once. *)
+let adaptive_spin ~parties =
+  if parties <= Domain.recommended_domain_count () then default_spin else 0
+
+let create ?spin parties =
   if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
-  { mutex = Mutex.create (); cond = Condition.create (); parties; arrived = 0; sense = false }
+  let spin = match spin with Some s -> s | None -> adaptive_spin ~parties in
+  if spin < 0 then invalid_arg "Barrier.create: spin must be >= 0";
+  {
+    parties;
+    spin;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    phase = Atomic.make 0;
+    arrived = Atomic.make 0;
+    parked = Atomic.make 0;
+  }
 
 let parties t = t.parties
 
 let wait t =
-  Mutex.lock t.mutex;
-  let my_sense = t.sense in
-  t.arrived <- t.arrived + 1;
-  if t.arrived = t.parties then begin
-    (* Last arriver releases everyone and flips the sense for reuse. *)
-    t.arrived <- 0;
-    t.sense <- not t.sense;
-    Condition.broadcast t.cond
+  let my_phase = Atomic.get t.phase in
+  if Atomic.fetch_and_add t.arrived 1 = t.parties - 1 then begin
+    (* Last arriver: reset for reuse, then release everyone. *)
+    Atomic.set t.arrived 0;
+    Atomic.incr t.phase;
+    if Atomic.get t.parked > 0 then begin
+      Mutex.lock t.mutex;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex
+    end
   end
-  else
-    while t.sense = my_sense do
-      Condition.wait t.cond t.mutex
-    done;
-  Mutex.unlock t.mutex
+  else begin
+    let rec spin k =
+      if Atomic.get t.phase <> my_phase then ()
+      else if k > 0 then begin
+        Domain.cpu_relax ();
+        spin (k - 1)
+      end
+      else begin
+        Mutex.lock t.mutex;
+        Atomic.incr t.parked;
+        while Atomic.get t.phase = my_phase do
+          Condition.wait t.cond t.mutex
+        done;
+        Atomic.decr t.parked;
+        Mutex.unlock t.mutex
+      end
+    in
+    spin t.spin
+  end

@@ -1,11 +1,16 @@
-(** Reusable sense-reversing barrier for a fixed set of participants. *)
+(** Reusable phase-counting barrier for a fixed set of participants,
+    with a bounded spin fast path before parking on a condvar. *)
 
 type t
 
-val create : int -> t
-(** [create parties] makes a barrier that releases once [parties] domains
-    have called {!wait}. Raises [Invalid_argument] on a non-positive
-    count. *)
+val create : ?spin:int -> int -> t
+(** [create parties] makes a barrier that releases once [parties]
+    domains have called {!wait}. [spin] bounds the [Domain.cpu_relax]
+    iterations a waiter spends watching the phase word before parking;
+    [0] parks immediately. The default matches {!Domain_pool.create}:
+    512 when [parties] fit the machine's cores, 0 otherwise. Raises
+    [Invalid_argument] on a non-positive party count or negative
+    [spin]. *)
 
 val parties : t -> int
 

@@ -1,13 +1,23 @@
 (** A fixed pool of OCaml domains executing SPMD-style jobs.
 
     The calling domain participates as worker [0]; a pool of size [n]
-    spawns [n - 1] additional domains that sleep between jobs. *)
+    spawns [n - 1] additional domains. Between jobs, workers spin a
+    bounded number of [Domain.cpu_relax] iterations on an atomic
+    generation word (the fast path when cores are available) and then
+    park on a condition variable (the oversubscription-safe slow
+    path). *)
 
 type t
 
-val create : int -> t
-(** [create n] spawns a pool of [n] workers. Raises [Invalid_argument]
-    when [n <= 0]. *)
+val create : ?spin:int -> int -> t
+(** [create n] spawns a pool of [n] workers. [spin] bounds the
+    [Domain.cpu_relax] iterations a waiter spends on the fast path
+    before parking; [0] parks immediately, recovering the pure condvar
+    behavior. The default is parameterless and oversubscription-safe:
+    512 when all [n] workers fit the machine's cores
+    ([Domain.recommended_domain_count]), 0 otherwise — spinning cannot
+    help when the signaling domain has no core to run on. Raises
+    [Invalid_argument] when [n <= 0] or [spin < 0]. *)
 
 val size : t -> int
 
@@ -17,11 +27,18 @@ val run : t -> (int -> unit) -> unit
     raises, one of the raised exceptions is re-raised in the caller after
     all workers have completed. *)
 
+val sync_counters : t -> (int * int) array
+(** Per-worker [(spins, parks)] totals accumulated since pool creation:
+    wakeups served entirely by the spin fast path vs. waits that fell
+    back to the condvar. Slot [0] counts the caller's job-completion
+    joins. Timing-dependent — read only between jobs, and never fold
+    into anything deterministic. *)
+
 val shutdown : t -> unit
 (** Join all worker domains. The pool cannot be used afterwards.
     Idempotent. *)
 
-val with_pool : int -> (t -> 'a) -> 'a
+val with_pool : ?spin:int -> int -> (t -> 'a) -> 'a
 (** [with_pool n f] runs [f] with a fresh pool, shutting it down
     afterwards even if [f] raises. *)
 

@@ -154,7 +154,7 @@ let test_register_new_semantics () =
      neighborhood; registering a non-fresh lock is a programming error. *)
   let fresh = Galois.Lock.create () in
   let taken = Galois.Lock.create () in
-  ignore (Galois.Lock.try_claim taken 99);
+  ignore (Galois.Lock.try_claim taken ~stamp:(Galois.Lock.new_epoch ()) 99);
   let operator ctx () =
     Galois.Context.failsafe ctx;
     Galois.Context.register_new ctx fresh;

@@ -172,6 +172,109 @@ let test_pending_compact_random () =
     done
   done
 
+(* --- round-stamped marks: the release-free protocol ------------------- *)
+
+let test_stale_marks_across_rounds () =
+  (* Simulate the scheduler's round structure directly: each round opens
+     a fresh epoch and runs writeMarksMax claims WITHOUT ever releasing,
+     exactly as selectAndExec now does. A per-round model (all locks
+     free) must predict every outcome — i.e. marks left by earlier
+     rounds are invisible. *)
+  let rng = Sm.create 0xac5 in
+  let n = 16 in
+  let locks = Galois.Lock.create_array n in
+  for _round = 1 to 100 do
+    let stamp = Galois.Lock.new_epoch () in
+    let model = Array.make n 0 in
+    for _op = 1 to 40 do
+      let j = Sm.int rng n in
+      let id = 1 + Sm.int rng 1000 in
+      let m = model.(j) in
+      (match Galois.Lock.claim_max locks.(j) ~stamp id with
+      | `Won 0 ->
+          check_bool "Won 0 only when free/stale or re-claim" true (m = 0 || m = id);
+          model.(j) <- id
+      | `Won v ->
+          check_int "victim is this round's mark, never a stale one" m v;
+          check_bool "displacement raises" true (id > m);
+          model.(j) <- id
+      | `Lost -> check_bool "Lost only to a same-round higher id" true (m > id));
+      check_bool "holds agrees with round-local model" true
+        (Galois.Lock.holds locks.(j) ~stamp model.(j) = (model.(j) <> 0))
+    done;
+    (* End of round: no releases. The marks now become stale garbage the
+       next epoch must treat as free. *)
+    Array.iteri
+      (fun j m -> if m <> 0 then check_int "mark decodes last writer" m (Galois.Lock.mark locks.(j)))
+      model
+  done
+
+let test_epochs_monotone () =
+  let a = Galois.Lock.new_epoch () in
+  let b = Galois.Lock.new_epoch () in
+  let c = Galois.Lock.new_epoch () in
+  check_bool "strictly increasing" true (a < b && b < c);
+  check_bool "within stamp range" true (a >= 1 && c <= Galois.Lock.max_stamp)
+
+(* --- spin-then-park pool/barrier under oversubscription ---------------- *)
+
+let test_pool_spin_hammer () =
+  (* More domains than this container has cores, tiny spin budget: every
+     dispatch exercises both the spin fast path and the park fallback.
+     Each worker's wakeups must be fully accounted as spins + parks, and
+     the jobs must all run exactly once. *)
+  let domains = 6 and jobs = 40 in
+  Parallel.Domain_pool.with_pool ~spin:8 domains (fun pool ->
+      let cells = Array.make domains 0 in
+      for _ = 1 to jobs do
+        Parallel.Domain_pool.run pool (fun w -> cells.(w) <- cells.(w) + 1)
+      done;
+      Array.iteri (fun w c -> check_int (Printf.sprintf "worker %d ran every job" w) jobs c) cells;
+      let sync = Parallel.Domain_pool.sync_counters pool in
+      check_int "one counter pair per worker" domains (Array.length sync);
+      Array.iteri
+        (fun w (s, p) ->
+          check_bool "counters non-negative" true (s >= 0 && p >= 0);
+          (* One await per dispatch (workers) / join (caller). *)
+          check_int (Printf.sprintf "worker %d wakeups accounted" w) jobs (s + p))
+        sync)
+
+let test_pool_park_only () =
+  (* spin = 0 recovers the pure condvar pool; it must still be correct
+     and account every wakeup. *)
+  Parallel.Domain_pool.with_pool ~spin:0 4 (fun pool ->
+      let total = Atomic.make 0 in
+      for _ = 1 to 20 do
+        Parallel.Domain_pool.run pool (fun _ -> Atomic.incr total)
+      done;
+      check_int "all jobs ran" 80 (Atomic.get total);
+      Array.iter (fun (s, p) -> check_int "accounted" 20 (s + p))
+        (Parallel.Domain_pool.sync_counters pool))
+
+let test_barrier_spin_hammer () =
+  (* Oversubscribed reusable barrier with a small spin budget: parties
+     cycle many rounds; after each crossing every cell is within one
+     round of our own (nobody passed a barrier early, nobody got
+     stuck). *)
+  let parties = 5 and rounds = 100 in
+  let b = Parallel.Barrier.create ~spin:8 parties in
+  let cells = Array.make parties 0 in
+  let body me () =
+    for r = 1 to rounds do
+      cells.(me) <- cells.(me) + 1;
+      Parallel.Barrier.wait b;
+      for o = 0 to parties - 1 do
+        let v = cells.(o) in
+        if v < r || v > r + 1 then
+          Alcotest.failf "party %d saw cell %d = %d in round %d" me o v r
+      done
+    done
+  in
+  let ds = List.init (parties - 1) (fun i -> Domain.spawn (body (i + 1))) in
+  body 0 ();
+  List.iter Domain.join ds;
+  Array.iteri (fun i c -> check_int (Printf.sprintf "party %d rounds" i) rounds c) cells
+
 let suite =
   [
     Alcotest.test_case "spread: identity cases" `Quick test_spread_identity_cases;
@@ -185,4 +288,12 @@ let suite =
     Alcotest.test_case "window: proportional shrink" `Quick test_window_shrink_proportional;
     Alcotest.test_case "pending: compact cases" `Quick test_pending_compact_cases;
     Alcotest.test_case "pending: compact random model" `Quick test_pending_compact_random;
+    Alcotest.test_case "stamps: stale marks invisible across rounds" `Quick
+      test_stale_marks_across_rounds;
+    Alcotest.test_case "stamps: epochs monotone" `Quick test_epochs_monotone;
+    Alcotest.test_case "pool: oversubscribed spin-then-park hammer" `Quick
+      test_pool_spin_hammer;
+    Alcotest.test_case "pool: park-only (spin=0)" `Quick test_pool_park_only;
+    Alcotest.test_case "barrier: oversubscribed spin hammer" `Quick
+      test_barrier_spin_hammer;
   ]

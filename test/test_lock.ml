@@ -3,7 +3,8 @@ let check_bool = Alcotest.(check bool)
 
 let test_fresh_lock_free () =
   let l = Galois.Lock.create () in
-  check_int "mark is 0" 0 (Galois.Lock.mark l)
+  check_int "mark is 0" 0 (Galois.Lock.mark l);
+  check_int "raw word is 0" 0 (Galois.Lock.raw l)
 
 let test_ids_unique () =
   let locks = Galois.Lock.create_array 100 in
@@ -15,34 +16,37 @@ let test_ids_unique () =
   done
 
 let test_try_claim () =
+  let stamp = Galois.Lock.new_epoch () in
   let l = Galois.Lock.create () in
-  check_bool "first claim wins" true (Galois.Lock.try_claim l 3);
-  check_bool "re-claim by owner" true (Galois.Lock.try_claim l 3);
-  check_bool "other task loses" false (Galois.Lock.try_claim l 4);
-  Galois.Lock.release l 3;
-  check_bool "free after release" true (Galois.Lock.try_claim l 4)
+  check_bool "first claim wins" true (Galois.Lock.try_claim l ~stamp 3);
+  check_bool "re-claim by owner" true (Galois.Lock.try_claim l ~stamp 3);
+  check_bool "other task loses" false (Galois.Lock.try_claim l ~stamp 4);
+  Galois.Lock.release l ~stamp 3;
+  check_bool "free after release" true (Galois.Lock.try_claim l ~stamp 4)
 
 let test_release_only_owner () =
+  let stamp = Galois.Lock.new_epoch () in
   let l = Galois.Lock.create () in
-  ignore (Galois.Lock.try_claim l 5);
-  Galois.Lock.release l 9;
+  ignore (Galois.Lock.try_claim l ~stamp 5);
+  Galois.Lock.release l ~stamp 9;
   check_int "non-owner release is a no-op" 5 (Galois.Lock.mark l);
-  Galois.Lock.release l 5;
+  Galois.Lock.release l ~stamp 5;
   check_int "owner release frees" 0 (Galois.Lock.mark l)
 
 let test_claim_max_monotone () =
+  let stamp = Galois.Lock.new_epoch () in
   let l = Galois.Lock.create () in
-  (match Galois.Lock.claim_max l 5 with
+  (match Galois.Lock.claim_max l ~stamp 5 with
   | `Won 0 -> ()
   | _ -> Alcotest.fail "claiming a free lock should win with no victim");
-  (match Galois.Lock.claim_max l 9 with
+  (match Galois.Lock.claim_max l ~stamp 9 with
   | `Won 5 -> ()
   | _ -> Alcotest.fail "higher id should displace 5");
-  (match Galois.Lock.claim_max l 7 with
+  (match Galois.Lock.claim_max l ~stamp 7 with
   | `Lost -> ()
   | _ -> Alcotest.fail "lower id must lose");
   check_int "mark is max" 9 (Galois.Lock.mark l);
-  match Galois.Lock.claim_max l 9 with
+  match Galois.Lock.claim_max l ~stamp 9 with
   | `Won 0 -> ()
   | _ -> Alcotest.fail "re-claim by current owner wins without victim"
 
@@ -50,11 +54,12 @@ let test_claim_max_concurrent_is_max () =
   (* The paper's determinism hinges on writeMarksMax being
      order-insensitive: the final mark is the max id no matter the
      interleaving. Hammer one lock from several domains. *)
+  let stamp = Galois.Lock.new_epoch () in
   let l = Galois.Lock.create () in
   let ids = Array.init 64 (fun i -> i + 1) in
   Parallel.Domain_pool.with_pool 4 (fun pool ->
       Parallel.Domain_pool.parallel_for pool 0 64 (fun i ->
-          ignore (Galois.Lock.claim_max l ids.(i))));
+          ignore (Galois.Lock.claim_max l ~stamp ids.(i))));
   check_int "final mark is the max id" 64 (Galois.Lock.mark l)
 
 let test_claim_max_loser_reported_exactly_once () =
@@ -62,12 +67,13 @@ let test_claim_max_loser_reported_exactly_once () =
      and `Lost happens exactly for claims that observe a higher mark.
      With sequential claims in random order, the set of reported victims
      must be all ids except the max. *)
+  let stamp = Galois.Lock.new_epoch () in
   let ids = [ 13; 2; 40; 7; 21; 40000; 5 ] in
   let l = Galois.Lock.create () in
   let victims = ref [] and losses = ref 0 in
   List.iter
     (fun id ->
-      match Galois.Lock.claim_max l id with
+      match Galois.Lock.claim_max l ~stamp id with
       | `Won 0 -> ()
       | `Won v -> victims := v :: !victims
       | `Lost -> incr losses)
@@ -81,17 +87,81 @@ let test_claim_max_loser_reported_exactly_once () =
   check_int "final mark" 40000 (Galois.Lock.mark l)
 
 let test_force_clear () =
+  let stamp = Galois.Lock.new_epoch () in
   let l = Galois.Lock.create () in
-  ignore (Galois.Lock.try_claim l 77);
+  ignore (Galois.Lock.try_claim l ~stamp 77);
   Galois.Lock.force_clear l;
   check_int "cleared" 0 (Galois.Lock.mark l)
 
 let test_holds () =
+  let stamp = Galois.Lock.new_epoch () in
   let l = Galois.Lock.create () in
-  check_bool "nobody holds fresh lock" false (Galois.Lock.holds l 1);
-  ignore (Galois.Lock.try_claim l 1);
-  check_bool "owner holds" true (Galois.Lock.holds l 1);
-  check_bool "other does not" false (Galois.Lock.holds l 2)
+  check_bool "nobody holds fresh lock" false (Galois.Lock.holds l ~stamp 1);
+  ignore (Galois.Lock.try_claim l ~stamp 1);
+  check_bool "owner holds" true (Galois.Lock.holds l ~stamp 1);
+  check_bool "other does not" false (Galois.Lock.holds l ~stamp 2)
+
+(* --- round-stamp staleness: the release-free protocol ------------- *)
+
+let test_stale_mark_is_free () =
+  (* A mark from an earlier epoch is free by construction for every
+     stamped operation under a later epoch — the invariant that lets the
+     scheduler skip the end-of-round release pass entirely. *)
+  let old_stamp = Galois.Lock.new_epoch () in
+  let l = Galois.Lock.create () in
+  ignore (Galois.Lock.try_claim l ~stamp:old_stamp 5);
+  check_bool "mark held under its own epoch" true
+    (Galois.Lock.holds l ~stamp:old_stamp 5);
+  let stamp = Galois.Lock.new_epoch () in
+  check_bool "stale mark not held under new epoch" false
+    (Galois.Lock.holds l ~stamp 5);
+  check_bool "try_claim treats stale mark as free" true
+    (Galois.Lock.try_claim l ~stamp 3);
+  check_int "new claim owns the word" 3 (Galois.Lock.mark l);
+  check_bool "old epoch no longer holds" false
+    (Galois.Lock.holds l ~stamp:old_stamp 5)
+
+let test_claim_max_over_stale_mark () =
+  (* claim_max over a stale mark wins with no victim and even a LOWER id
+     than the stale one — stale owners are never reported displaced. *)
+  let old_stamp = Galois.Lock.new_epoch () in
+  let l = Galois.Lock.create () in
+  ignore (Galois.Lock.claim_max l ~stamp:old_stamp 1000);
+  let stamp = Galois.Lock.new_epoch () in
+  (match Galois.Lock.claim_max l ~stamp 2 with
+  | `Won 0 -> ()
+  | `Won v -> Alcotest.failf "stale owner %d reported as victim" v
+  | `Lost -> Alcotest.fail "lower id must beat a stale mark");
+  check_int "fresh epoch owns with the lower id" 2 (Galois.Lock.mark l)
+
+let test_stale_release_is_noop () =
+  (* Releasing under a newer epoch never frees an older epoch's mark:
+     the packed words differ, so the CAS fails. *)
+  let old_stamp = Galois.Lock.new_epoch () in
+  let l = Galois.Lock.create () in
+  ignore (Galois.Lock.try_claim l ~stamp:old_stamp 5);
+  let stamp = Galois.Lock.new_epoch () in
+  Galois.Lock.release l ~stamp 5;
+  check_int "stale mark survives mismatched release" 5 (Galois.Lock.mark l);
+  Galois.Lock.release l ~stamp:old_stamp 5;
+  check_int "matching epoch releases" 0 (Galois.Lock.mark l)
+
+let test_pack_bounds () =
+  let stamp = Galois.Lock.new_epoch () in
+  let l = Galois.Lock.create () in
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "id 0 rejected" true
+    (invalid (fun () -> Galois.Lock.try_claim l ~stamp 0));
+  check_bool "negative id rejected" true
+    (invalid (fun () -> Galois.Lock.try_claim l ~stamp (-3)));
+  check_bool "id above max_task_id rejected" true
+    (invalid (fun () -> Galois.Lock.try_claim l ~stamp (Galois.Lock.max_task_id + 1)));
+  check_bool "stamp 0 rejected" true
+    (invalid (fun () -> Galois.Lock.try_claim l ~stamp:0 1));
+  check_bool "max_task_id itself packs" true
+    (Galois.Lock.try_claim l ~stamp Galois.Lock.max_task_id);
+  check_int "mark decodes the full-width id" Galois.Lock.max_task_id
+    (Galois.Lock.mark l)
 
 (* Property: for any sequence of claim_max operations, the final mark is
    the maximum id claimed. *)
@@ -100,9 +170,27 @@ let prop_claim_max_commutes =
     QCheck.(list_of_size Gen.(int_range 1 50) (int_range 1 1_000_000))
     (fun ids ->
       QCheck.assume (ids <> []);
+      let stamp = Galois.Lock.new_epoch () in
       let l = Galois.Lock.create () in
-      List.iter (fun id -> ignore (Galois.Lock.claim_max l id)) ids;
+      List.iter (fun id -> ignore (Galois.Lock.claim_max l ~stamp id)) ids;
       Galois.Lock.mark l = List.fold_left max 0 ids)
+
+(* Property: interleaving claims from two epochs, the final mark is the
+   max of the ids claimed under the LAST epoch only — earlier-epoch
+   claims are invisible once a later epoch touches the word. *)
+let prop_claim_max_epochs_isolate =
+  QCheck.Test.make ~name:"claim_max: later epoch shadows earlier" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 20) (int_range 1 1_000_000))
+        (list_of_size Gen.(int_range 1 20) (int_range 1 1_000_000)))
+    (fun (old_ids, new_ids) ->
+      let old_stamp = Galois.Lock.new_epoch () in
+      let l = Galois.Lock.create () in
+      List.iter (fun id -> ignore (Galois.Lock.claim_max l ~stamp:old_stamp id)) old_ids;
+      let stamp = Galois.Lock.new_epoch () in
+      List.iter (fun id -> ignore (Galois.Lock.claim_max l ~stamp id)) new_ids;
+      Galois.Lock.mark l = List.fold_left max 0 new_ids)
 
 let suite =
   [
@@ -117,5 +205,10 @@ let suite =
       test_claim_max_loser_reported_exactly_once;
     Alcotest.test_case "force_clear" `Quick test_force_clear;
     Alcotest.test_case "holds" `Quick test_holds;
+    Alcotest.test_case "stale mark is free" `Quick test_stale_mark_is_free;
+    Alcotest.test_case "claim_max over stale mark" `Quick test_claim_max_over_stale_mark;
+    Alcotest.test_case "stale release is a no-op" `Quick test_stale_release_is_noop;
+    Alcotest.test_case "pack bounds" `Quick test_pack_bounds;
     QCheck_alcotest.to_alcotest prop_claim_max_commutes;
+    QCheck_alcotest.to_alcotest prop_claim_max_epochs_isolate;
   ]

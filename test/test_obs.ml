@@ -32,6 +32,8 @@ let exemplars =
         pushes = 4;
         inspections = 12;
         chunks = 6;
+        spins = 9;
+        parks = 1;
       };
     Obs.Run_end { commits = 1000; rounds = 19; generations = 3 };
   ]
