@@ -10,6 +10,135 @@
 let parse_int_list s =
   try List.map int_of_string (String.split_on_char ',' s) with _ -> []
 
+(* --dmr-style: dual-modular-redundancy-style lockstep verification.
+   Run every case twice — two fresh worlds, two thread counts — with a
+   digest checkpoint every K rounds, and cross-check the trails: the
+   verdict localizes any divergence to the first differing round
+   boundary instead of merely failing on the final digest. *)
+let run_lockstep ~cases ~seed ~apps ~threads ~size ~points ~every ~verbose =
+  let ta, tb =
+    match threads with
+    | a :: b :: _ -> (a, b)
+    | [ a ] -> (a, a + 1)
+    | [] -> (2, 4)
+  in
+  let failures = ref 0 in
+  let boundaries = ref 0 in
+  let audit (Detcheck.Replay_cases.Case c) =
+    let collect t =
+      let run, output_digest = c.fresh ~static_id:false () in
+      let trail, report =
+        Replay.Lockstep.collect ~every
+          (run |> Galois.Run.policy (Galois.Policy.det t))
+      in
+      (trail, report.Galois.Run.stats, output_digest ())
+    in
+    let trail_a, stats_a, out_a = collect ta in
+    let trail_b, stats_b, out_b = collect tb in
+    let verdict = Replay.Lockstep.first_divergence trail_a trail_b in
+    let final_agree =
+      Galois.Trace_digest.equal stats_a.Galois.Stats.digest stats_b.Galois.Stats.digest
+      && Galois.Trace_digest.equal out_a out_b
+      && stats_a.Galois.Stats.rounds = stats_b.Galois.Stats.rounds
+    in
+    (match verdict with
+    | Replay.Lockstep.Agree { compared } -> boundaries := !boundaries + compared
+    | _ -> ());
+    match (verdict, final_agree) with
+    | Replay.Lockstep.Diverge _, _ ->
+        incr failures;
+        Fmt.pr "FAIL  %s (det:%d vs det:%d): %a@." c.name ta tb Replay.Lockstep.pp_verdict
+          verdict
+    | _, false ->
+        incr failures;
+        Fmt.pr
+          "FAIL  %s (det:%d vs det:%d): final state diverged (sched %a vs %a, output %a \
+           vs %a, rounds %d vs %d) yet no checkpoint caught it@."
+          c.name ta tb Galois.Trace_digest.pp stats_a.Galois.Stats.digest
+          Galois.Trace_digest.pp stats_b.Galois.Stats.digest Galois.Trace_digest.pp out_a
+          Galois.Trace_digest.pp out_b stats_a.Galois.Stats.rounds
+          stats_b.Galois.Stats.rounds
+    | _, true ->
+        if verbose then
+          Fmt.pr "ok    %s (det:%d vs det:%d): %a, final digest %a@." c.name ta tb
+            Replay.Lockstep.pp_verdict verdict Galois.Trace_digest.pp
+            stats_a.Galois.Stats.digest
+        else Fmt.pr "ok    %s: %a@." c.name Replay.Lockstep.pp_verdict verdict
+  in
+  let app_case name =
+    match name with
+    | "bfs" -> Some (Detcheck.Replay_cases.bfs ~n:size ~seed)
+    | "sssp" -> Some (Detcheck.Replay_cases.sssp ~n:size ~seed)
+    | "mst" | "boruvka" -> Some (Detcheck.Replay_cases.boruvka ~n:size ~seed)
+    | "dmr" -> Some (Detcheck.Replay_cases.dmr ~points ~seed)
+    | _ -> None
+  in
+  List.iter
+    (fun name ->
+      match app_case name with
+      | Some case -> audit case
+      | None ->
+          incr failures;
+          Fmt.pr "FAIL  unknown app %S (expected bfs | sssp | mst | dmr)@." name)
+    apps;
+  for i = 0 to cases - 1 do
+    audit (Detcheck.Replay_cases.gen ~seed:(seed + i))
+  done;
+  (* Negative control: a perturbed snapshot must be caught, and at the
+     right round. A conflict-free operator (every task its own lock)
+     with a pinned window commits the whole window each round, so the
+     digest folds every window id in deque order — swapping two pending
+     entries is then guaranteed to surface at the first round after the
+     boundary, and the verifier must localize it there. *)
+  let control () =
+    let n = 100 in
+    let policy =
+      match Galois.Policy.of_string "det:2[window=8]" with
+      | Ok p -> p
+      | Error e -> failwith e
+    in
+    let run_of () =
+      let locks = Array.init n (fun _ -> Galois.Lock.create ()) in
+      Galois.Run.make
+        ~operator:(fun ctx i -> Galois.Context.acquire ctx locks.(i))
+        (Array.init n (fun i -> i))
+      |> Galois.Run.policy policy
+    in
+    let captured = ref None in
+    let acc = ref [] in
+    let _ =
+      run_of ()
+      |> Galois.Run.checkpoint_every 1
+      |> Galois.Run.on_checkpoint (fun snap ->
+             let b = snap.Replay.Snapshot.boundary in
+             acc := (b.Galois.Det_sched.b_rounds, b.Galois.Det_sched.b_digest) :: !acc;
+             if b.Galois.Det_sched.b_rounds = 2 then captured := Some b)
+      |> Galois.Run.exec
+    in
+    let trail_ref = List.rev !acc in
+    match !captured with
+    | Some b ->
+        let perturbed = Replay.swap_pending_ids 0 1 b in
+        let resumed = run_of () |> Galois.Run.resume perturbed in
+        let trail_bad, _ = Replay.Lockstep.collect ~every:1 resumed in
+        (match Replay.Lockstep.first_divergence trail_ref trail_bad with
+        | Replay.Lockstep.Diverge { round = 3; _ } ->
+            Fmt.pr "ok    negative control: swap at round 2 localized to round 3@."
+        | v ->
+            incr failures;
+            Fmt.pr "FAIL  negative control: perturbed boundary not localized (%a)@."
+              Replay.Lockstep.pp_verdict v)
+    | None ->
+        incr failures;
+        Fmt.pr "FAIL  negative control: no boundary captured at round 2@."
+  in
+  control ();
+  if !failures = 0 then begin
+    Fmt.pr "detcheck --dmr-style: all passed (%d boundaries cross-checked)@." !boundaries;
+    `Ok ()
+  end
+  else `Error (false, Printf.sprintf "detcheck --dmr-style: %d failure(s)" !failures)
+
 let run ~cases ~seed ~apps ~threads ~size ~points ~verbose =
   let threads = if threads = [] then Detcheck.default_threads else threads in
   let failures = ref 0 in
@@ -109,6 +238,18 @@ let verbose_arg =
   let doc = "Print full per-case reports." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let dmr_style_arg =
+  let doc =
+    "Lockstep (dual-modular-redundancy-style) mode: run each case twice at the first two \
+     thread counts of $(b,--threads), cross-check digests at every checkpoint boundary \
+     and report the first divergent round instead of only the final digest."
+  in
+  Arg.(value & flag & info [ "dmr-style" ] ~doc)
+
+let every_arg =
+  let doc = "Checkpoint cadence (rounds) for $(b,--dmr-style) digest cross-checks." in
+  Arg.(value & opt int 4 & info [ "every" ] ~docv:"K" ~doc)
+
 let cmd =
   let doc = "audit the determinism claims of the DIG scheduler" in
   let man =
@@ -125,14 +266,19 @@ let cmd =
       `S Manpage.s_examples;
       `P "detcheck --cases 25 --seed 2014";
       `P "detcheck --apps dmr --cases 0 --threads 1,3,5 -v";
+      `P "detcheck --dmr-style --cases 5 --every 2 --threads 2,4";
     ]
   in
   let term =
     Term.(
       ret
-        (const (fun cases seed apps threads size points verbose ->
-             run ~cases ~seed ~apps ~threads ~size ~points ~verbose)
-        $ cases_arg $ seed_arg $ apps_arg $ threads_arg $ size_arg $ points_arg $ verbose_arg))
+        (const (fun cases seed apps threads size points verbose dmr_style every ->
+             if every < 1 then `Error (false, "--every must be >= 1")
+             else if dmr_style then
+               run_lockstep ~cases ~seed ~apps ~threads ~size ~points ~every ~verbose
+             else run ~cases ~seed ~apps ~threads ~size ~points ~verbose)
+        $ cases_arg $ seed_arg $ apps_arg $ threads_arg $ size_arg $ points_arg
+        $ verbose_arg $ dmr_style_arg $ every_arg))
   in
   Cmd.v (Cmd.info "detcheck" ~version:"1.0.0" ~doc ~man) term
 

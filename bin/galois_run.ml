@@ -2,7 +2,139 @@
    policy. This is the paper's on-demand determinism in practice — the
    application code is fixed; [--policy serial|nondet:T|det:T[k=v,...]]
    picks the scheduler at run time, and [--trace FILE] streams the
-   runtime's observability events (lib/obs) to a JSONL file. *)
+   runtime's observability events (lib/obs) to a JSONL file.
+
+   The checkpoint/replay flags (--checkpoint, --resume, --replay-to,
+   --crash-resume, --schedule-out) drive det-policy runs of
+   bfs | sssp | mst | dmr through the replay harness instead of the
+   plain benchmark path. *)
+
+module D = Galois.Trace_digest
+
+type replay_opts = {
+  checkpoint : string option;  (* write round-boundary snapshots here *)
+  every : int option;  (* checkpoint cadence (default 1) *)
+  resume : string option;  (* resume from this snapshot file *)
+  replay_to : int option;  (* stop after this round, dump the schedule prefix *)
+  crash_at : int option;  (* in-process crash/resume verification round *)
+  schedule_out : string option;  (* where the schedule prefix goes (default stdout) *)
+}
+
+let replay_requested r =
+  Option.is_some r.checkpoint || Option.is_some r.every || Option.is_some r.resume
+  || Option.is_some r.replay_to || Option.is_some r.crash_at
+  || Option.is_some r.schedule_out
+
+(* The executed rounds as stable text: one [round=...] line per round
+   with *absolute* round numbers (a resumed run's schedule starts
+   mid-run), then a digest trailer. Byte-comparing a resumed run's
+   prefix dump against the same rounds of an uninterrupted run is the
+   @replay-smoke check. *)
+let dump_schedule_prefix ~out (report : Galois.Runtime.report) =
+  let lines =
+    match report.schedule with
+    | Some (Galois.Schedule.Rounds rounds) ->
+        let first = report.stats.rounds - List.length rounds + 1 in
+        List.mapi
+          (fun i window ->
+            let committed =
+              Array.fold_left
+                (fun a (t : Galois.Schedule.task_record) -> if t.committed then a + 1 else a)
+                0 window
+            in
+            Printf.sprintf "round=%d window=%d committed=%d" (first + i)
+              (Array.length window) committed)
+          rounds
+    | Some (Galois.Schedule.Flat _) | None -> []
+  in
+  let lines =
+    lines
+    @ [ Printf.sprintf "digest=%s rounds=%d" (D.to_hex report.stats.digest)
+          report.stats.rounds ]
+  in
+  match out with
+  | None -> List.iter print_endline lines
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+let replay_case ~app ~size ~seed =
+  match app with
+  | "bfs" -> Some (Detcheck.Replay_cases.bfs ~n:size ~seed)
+  | "sssp" -> Some (Detcheck.Replay_cases.sssp ~n:size ~seed)
+  | "mst" -> Some (Detcheck.Replay_cases.boruvka ~n:size ~seed)
+  | "dmr" -> Some (Detcheck.Replay_cases.dmr ~points:size ~seed)
+  | _ -> None
+
+let run_replay ~app ~policy ~size ~seed ~sink r =
+  match replay_case ~app ~size ~seed with
+  | None ->
+      `Error
+        (false, "checkpoint/replay flags support the bfs | sssp | mst | dmr benchmarks only")
+  | Some (Detcheck.Replay_cases.Case c) -> (
+      try
+        if
+          (Option.is_some r.checkpoint || Option.is_some r.resume)
+          && not c.snapshot_capable
+        then
+          `Error
+            ( false,
+              Printf.sprintf
+                "%s has no serializable world state; use --crash-resume (live in-process \
+                 resume) instead"
+                app )
+        else
+          match r.crash_at with
+          | Some at ->
+              (* Two fresh worlds: run one to completion, crash and
+                 resume the other, then require digest & output equality. *)
+              let full, full_out = c.fresh ~static_id:false () in
+              let crash, crash_out = c.fresh ~static_id:false () in
+              let outcome =
+                Replay.crash_resume ~at
+                  ~full:(full |> Galois.Run.policy policy)
+                  ~crash:(crash |> Galois.Run.policy policy)
+                  ()
+              in
+              let pp_line tag (rep : Galois.Runtime.report) =
+                Fmt.pr "  %s digest=%a rounds=%d commits=%d@." tag D.pp rep.stats.digest
+                  rep.stats.rounds rep.stats.commits
+              in
+              Fmt.pr "crash-resume %s (%a): crashed after round %d of %d@." app
+                Galois.Policy.pp policy outcome.crash_round outcome.full.stats.rounds;
+              pp_line "full   " outcome.full;
+              pp_line "resumed" outcome.resumed;
+              let ok =
+                D.equal outcome.full.stats.digest outcome.resumed.stats.digest
+                && D.equal (full_out ()) (crash_out ())
+              in
+              Fmt.pr "  verdict=%s@." (if ok then "identical" else "DIVERGED");
+              if ok then `Ok () else `Error (false, "crash-resume replay diverged")
+          | None ->
+              let run, out = c.fresh ~static_id:false () in
+              let report =
+                run
+                |> Galois.Run.policy policy
+                |> Galois.Run.opt Galois.Run.sink sink
+                |> Galois.Run.opt Galois.Run.checkpoint_to r.checkpoint
+                |> Galois.Run.opt Galois.Run.checkpoint_every r.every
+                |> Galois.Run.opt Galois.Run.resume_from r.resume
+                |> Galois.Run.opt Galois.Run.stop_after r.replay_to
+                |> (if Option.is_some r.replay_to || Option.is_some r.schedule_out then
+                      Galois.Run.record
+                    else Fun.id)
+                |> Galois.Run.exec
+              in
+              Fmt.pr "%s (%a):@." app Galois.Policy.pp policy;
+              Fmt.pr "  %a@." Galois.Stats.pp report.stats;
+              Fmt.pr "  output digest=%s@." (D.to_hex (out ()));
+              if Option.is_some r.replay_to || Option.is_some r.schedule_out then
+                dump_schedule_prefix ~out:r.schedule_out report;
+              `Ok ()
+      with
+      | Invalid_argument msg | Failure msg -> `Error (false, msg))
 
 let run_app ~app ~policy ~size ~seed ~verbose ~sink =
   let pp_stats name (stats : Galois.Stats.t) =
@@ -137,6 +269,44 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Write round-boundary snapshots to $(docv) (atomically; the file always holds the \
+     latest complete snapshot). Requires a det policy; bfs and sssp only (their world \
+     state is serializable)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let every_arg =
+  let doc = "Checkpoint cadence in rounds (default 1)." in
+  Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from a snapshot written by --checkpoint: the run continues at the captured \
+     round (under any thread count) and reproduces the uninterrupted run's digest."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let replay_to_arg =
+  let doc =
+    "Stop after round $(docv) and dump the executed schedule prefix (one line per round \
+     plus a digest trailer; see --schedule-out)."
+  in
+  Arg.(value & opt (some int) None & info [ "replay-to" ] ~docv:"ROUND" ~doc)
+
+let crash_resume_arg =
+  let doc =
+    "Crash-injection self-check: run the benchmark to completion, run a second fresh \
+     world that is stopped at round $(docv) and resumed live, and verify both digests \
+     and outputs agree. Exits non-zero on divergence. Supports bfs | sssp | mst | dmr."
+  in
+  Arg.(value & opt (some int) None & info [ "crash-resume" ] ~docv:"ROUND" ~doc)
+
+let schedule_out_arg =
+  let doc = "Write the --replay-to schedule prefix to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "schedule-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run Deterministic Galois benchmarks under a chosen execution policy" in
   let man =
@@ -152,22 +322,30 @@ let cmd =
       `P "galois-run bfs -n 100000 --policy nondet:8";
       `P "galois-run mst -n 50000 --policy 'det:4[window=64,spread=1]'";
       `P "galois-run bfs -n 20000 --policy det:4 --trace bfs.trace.jsonl";
+      `P "galois-run bfs -n 20000 --policy det:4 --checkpoint bfs.snap --checkpoint-every 8";
+      `P "galois-run bfs -n 20000 --policy det:4 --resume bfs.snap";
+      `P "galois-run dmr -n 2000 --policy det:4 --crash-resume 5";
     ]
   in
-  let run_traced app policy size seed verbose trace =
+  let run_traced app policy size seed verbose trace checkpoint every resume replay_to
+      crash_at schedule_out =
+    let r = { checkpoint; every; resume; replay_to; crash_at; schedule_out } in
+    let dispatch sink =
+      if replay_requested r then run_replay ~app ~policy ~size ~seed ~sink r
+      else run_app ~app ~policy ~size ~seed ~verbose ~sink
+    in
     match trace with
-    | None -> run_app ~app ~policy ~size ~seed ~verbose ~sink:None
+    | None -> dispatch None
     | Some path ->
         let sink = Obs.Jsonl.file path in
-        Fun.protect
-          ~finally:(fun () -> Obs.close sink)
-          (fun () -> run_app ~app ~policy ~size ~seed ~verbose ~sink:(Some sink))
+        Fun.protect ~finally:(fun () -> Obs.close sink) (fun () -> dispatch (Some sink))
   in
   let term =
     Term.(
       ret
         (const run_traced $ app_arg $ policy_arg $ size_arg $ seed_arg $ verbose_arg
-       $ trace_arg))
+       $ trace_arg $ checkpoint_arg $ every_arg $ resume_arg $ replay_to_arg
+       $ crash_resume_arg $ schedule_out_arg))
   in
   Cmd.v (Cmd.info "galois-run" ~version:"1.0.0" ~doc ~man) term
 

@@ -1,0 +1,68 @@
+(* Schedule-prefix comparator behind @replay-smoke: given the schedule
+   dump of an uninterrupted run and of a checkpoint/resume run of the
+   same job, verify the resumed schedule is byte-for-byte the suffix of
+   the full one — every "round=N ..." line in the resumed dump must
+   equal the same-numbered line of the full dump, and the "digest=..."
+   trailers must match exactly.
+
+     replay_check full.sched resumed.sched *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* "round=N window=... committed=..." -> Some (N, line); trailer -> None *)
+let round_of_line line =
+  match String.index_opt line ' ' with
+  | Some sp when String.length line > 6 && String.sub line 0 6 = "round=" ->
+      int_of_string_opt (String.sub line 6 (sp - 6))
+      |> Option.map (fun r -> (r, line))
+  | _ -> None
+
+let split lines =
+  let rounds = List.filter_map round_of_line lines in
+  let trailer =
+    List.find_opt
+      (fun l -> String.length l > 7 && String.sub l 0 7 = "digest=")
+      lines
+  in
+  (rounds, trailer)
+
+let () =
+  match Sys.argv with
+  | [| _; full_path; resumed_path |] ->
+      let full_rounds, full_trailer = split (read_lines full_path) in
+      let resumed_rounds, resumed_trailer = split (read_lines resumed_path) in
+      let errors = ref 0 in
+      let fail fmt = Printf.ksprintf (fun s -> incr errors; prerr_endline ("FAIL  " ^ s)) fmt in
+      if resumed_rounds = [] then fail "%s: no round lines" resumed_path;
+      List.iter
+        (fun (r, line) ->
+          match List.assoc_opt r full_rounds with
+          | None -> fail "round %d in %s missing from %s" r resumed_path full_path
+          | Some ref_line ->
+              if ref_line <> line then
+                fail "round %d differs:\n  full:    %s\n  resumed: %s" r ref_line line)
+        resumed_rounds;
+      (match (full_trailer, resumed_trailer) with
+      | Some a, Some b when a = b -> ()
+      | Some a, Some b -> fail "trailers differ:\n  full:    %s\n  resumed: %s" a b
+      | _ -> fail "missing digest trailer");
+      if !errors = 0 then begin
+        Printf.printf "replay_check: resumed schedule matches (%d rounds, %s)\n"
+          (List.length resumed_rounds)
+          (match full_trailer with Some t -> t | None -> "");
+        exit 0
+      end
+      else exit 1
+  | _ ->
+      prerr_endline "usage: replay_check FULL.sched RESUMED.sched";
+      exit 2

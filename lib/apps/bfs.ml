@@ -14,7 +14,12 @@ module Csr = Graphlib.Csr
 
 let unreached = max_int
 
-let galois ?record ?sink ~policy ?pool g ~source =
+(* The run description and the world (distance array) it executes
+   against, without executing it — the checkpoint/replay layer composes
+   its own policies, checkpoints and resumes onto it. The distance
+   array is the app's entire mutable state, so the snapshot hook is a
+   plain copy in / copy out. *)
+let plan g ~source =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let dist = Array.make n unreached in
@@ -29,8 +34,19 @@ let galois ?record ?sink ~policy ?pool g ~source =
       Csr.iter_succ g u (fun v -> if dist.(v) > d + 1 then Galois.Context.push ctx (v, d + 1))
     end
   in
-  let report =
+  let run =
     Galois.Run.make ~operator [| (source, 0) |]
+    |> Galois.Run.app "bfs"
+    |> Galois.Run.snapshot_state
+         ~save:(fun () -> Array.copy dist)
+         ~restore:(fun saved -> Array.blit saved 0 dist 0 n)
+  in
+  (run, dist)
+
+let galois ?record ?sink ~policy ?pool g ~source =
+  let run, dist = plan g ~source in
+  let report =
+    run
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)

@@ -36,7 +36,12 @@ let lightest_out g weights members uf root =
     members.(root);
   !best
 
-let galois ?record ?sink ~policy ?pool g weights =
+(* Unexecuted run description + a closure reading the forest off the
+   world. No snapshot hook: the union-find structure has no copy-out
+   API, so boruvka supports live in-process resume (the world object is
+   shared between the crashed and resumed exec) but not cross-process
+   snapshot files. *)
+let plan g weights =
   if Array.length weights <> Csr.edges g then
     invalid_arg "Boruvka.galois: weight array size mismatch";
   let n = Csr.nodes g in
@@ -78,23 +83,31 @@ let galois ?record ?sink ~policy ?pool g weights =
             Galois.Context.push ctx new_root
           end
   in
+  let run = Galois.Run.make ~operator (Array.init n Fun.id) |> Galois.Run.app "boruvka" in
+  let forest () =
+    let parent_edge = ref [] and total = ref 0 in
+    Array.iteri
+      (fun e picked ->
+        if picked then begin
+          parent_edge := e :: !parent_edge;
+          total := !total + weights.(e)
+        end)
+      chosen;
+    { parent_edge = !parent_edge; total_weight = !total }
+  in
+  (run, forest)
+
+let galois ?record ?sink ~policy ?pool g weights =
+  let run, forest = plan g weights in
   let report =
-    Galois.Run.make ~operator (Array.init n Fun.id)
+    run
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
     |> Galois.Run.opt Galois.Run.sink sink
     |> Galois.Run.exec
   in
-  let parent_edge = ref [] and total = ref 0 in
-  Array.iteri
-    (fun e picked ->
-      if picked then begin
-        parent_edge := e :: !parent_edge;
-        total := !total + weights.(e)
-      end)
-    chosen;
-  ({ parent_edge = !parent_edge; total_weight = !total }, report)
+  (forest (), report)
 
 (* Kruskal with sort by (weight, edge id) — the sequential baseline and
    the definition of the deterministic answer. *)

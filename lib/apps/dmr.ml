@@ -108,9 +108,18 @@ let operator cfg mesh ctx tri =
             Galois.Context.save ctx plan;
             refine_with cfg mesh ctx tri plan)
 
-let galois ?(config = default_config) ?record ?sink ~policy ?pool mesh =
+type op_state = Geometry.Point.t * Mesh.cavity * (int * int) option
+
+(* Unexecuted run description over the initial bad triangles. No
+   snapshot hook: triangles are identified physically within the live
+   mesh, so a marshalled snapshot would detach them — dmr supports live
+   in-process resume (crash/resume against the same mesh) only. *)
+let plan ?(config = default_config) mesh =
   let bad = Array.of_list (bad_triangles config mesh) in
-  Galois.Run.make ~operator:(operator config mesh) bad
+  Galois.Run.make ~operator:(operator config mesh) bad |> Galois.Run.app "dmr"
+
+let galois ?(config = default_config) ?record ?sink ~policy ?pool mesh =
+  plan ~config mesh
   |> Galois.Run.policy policy
   |> Galois.Run.opt Galois.Run.pool pool
   |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)

@@ -19,6 +19,15 @@ val plan_cavity :
     encroaches or escapes the domain, a border-segment midpoint with the
     segment to split. [None]: drop the task (mesh untouched). *)
 
+type op_state
+(** The operator's saved-continuation state (an insertion plan). *)
+
+val plan : ?config:config -> Mesh.t -> (Mesh.triangle, op_state) Galois.Run.t
+(** The unexecuted {!galois} description over the mesh's current bad
+    triangles, tagged [app "dmr"]. No snapshot-state hook — triangles
+    live inside the mesh, so dmr supports live in-process resume
+    only. *)
+
 val galois :
   ?config:config ->
   ?record:bool ->

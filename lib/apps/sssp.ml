@@ -7,7 +7,9 @@ module Csr = Graphlib.Csr
 
 let unreached = max_int
 
-let galois ?record ?sink ~policy ?pool g weights ~source =
+(* Unexecuted run description + world, like [Bfs.plan]: the distance
+   array is the entire mutable state, so the snapshot hook copies it. *)
+let plan g weights ~source =
   if Array.length weights <> Csr.edges g then
     invalid_arg "Sssp.galois: weight array size mismatch";
   let n = Csr.nodes g in
@@ -26,8 +28,19 @@ let galois ?record ?sink ~policy ?pool g weights ~source =
           if dist.(v) > nd then Galois.Context.push ctx (v, nd))
     end
   in
-  let report =
+  let run =
     Galois.Run.make ~operator [| (source, 0) |]
+    |> Galois.Run.app "sssp"
+    |> Galois.Run.snapshot_state
+         ~save:(fun () -> Array.copy dist)
+         ~restore:(fun saved -> Array.blit saved 0 dist 0 n)
+  in
+  (run, dist)
+
+let galois ?record ?sink ~policy ?pool g weights ~source =
+  let run, dist = plan g weights ~source in
+  let report =
+    run
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)

@@ -2,6 +2,15 @@
 
 val unreached : int
 
+val plan :
+  Graphlib.Csr.t ->
+  int array ->
+  source:int ->
+  ((int * int), unit) Galois.Run.t * int array
+(** The unexecuted {!galois} description plus its distance array,
+    tagged [app "sssp"] with a [Run.snapshot_state] hook — see
+    {!Bfs.plan}. *)
+
 val galois :
   ?record:bool ->
   ?sink:Obs.sink ->

@@ -184,9 +184,46 @@ let par_iter pool ~threads ~workers n f =
         end
       done)
 
-let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id ~operator
-    items =
+(* Round-boundary scheduler state (checkpoint/replay). Everything the
+   main loop needs to restart at the exact round the boundary was taken
+   after: the monotonic counters, the adaptive window, the digest
+   prefix, the pending deque contents (in deque order — the spread
+   permutation means this is *not* id order) and the child buffer of
+   the current generation (children accumulate across rounds, so a
+   mid-generation boundary must carry them). The six [b_*] counters are
+   the deterministic subset of the worker counters, carried
+   cumulatively; timing-dependent counters (atomics, chunks, spins,
+   parks) and wall-clock restart from zero on resume. *)
+type 'item boundary = {
+  b_rounds : int;
+  b_generations : int;
+  b_next_id : int;
+  b_gen_base : int;
+  b_window : int;  (* the *next* round's window (already adapted) *)
+  b_digest : Trace_digest.t;
+  b_pending_ids : int array;  (* task ids, in pending-deque order *)
+  b_pending_items : 'item array;
+  b_todo_parents : int array;
+  b_todo_births : int array;
+  b_todo_items : 'item array;
+  b_commits : int;
+  b_aborts : int;
+  b_acquired : int;
+  b_work : int;
+  b_created : int;
+  b_inspected : int;
+}
+
+let run ?(record = false) ?(sink = Obs.null) ?checkpoint ?resume ?stop_after ?threads
+    ~pool ~options ~static_id ~operator items =
   let { Policy.target_ratio; initial_window; spread; continuation; validate } = options in
+  (match checkpoint with
+  | Some (every, _) when every < 1 ->
+      invalid_arg "Det_sched.run: checkpoint cadence must be >= 1"
+  | _ -> ());
+  (match stop_after with
+  | Some r when r < 1 -> invalid_arg "Det_sched.run: stop_after round must be >= 1"
+  | _ -> ());
   (* All events are emitted from the sequential glue between parallel
      phases, so sinks never see concurrent calls. Every event field
      except the [Phase_time]/[Chunk_sized]/[Worker_counters] ones is
@@ -243,195 +280,292 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
      drained into [todo] by the sequential glue each round. *)
   let child_buffers = Array.init threads (fun _ -> Child_buffer.create ()) in
   let todo = Child_buffer.create () in
-  Array.iteri (fun i item -> Child_buffer.push todo ~parent:0 ~birth:i item) items;
   let pending = Pending.create () in
   let window = ref 0 in
-  let t0 = Clock.now_s () in
-  while Child_buffer.length todo > 0 do
-    incr generations;
-    let generation = form_generation ~static_id ~spread ~next_id todo in
-    Child_buffer.clear todo;
-    let gen_len = Array.length generation in
-    gen_base := !next_id - gen_len;
-    if gen_len > Array.length !slot_round && gen_len > 0 then begin
-      slot_task := Array.make gen_len generation.(0);
-      slot_round := Array.make gen_len 0
-    end;
-    Pending.load pending generation;
-    digest := Trace_digest.fold_int !digest gen_len;
-    if tracing then
-      emit (Obs.Generation_begin { generation = !generations; tasks = gen_len });
-    if !window = 0 then
-      window := (match initial_window with Some w -> max 1 w | None -> max 32 ((gen_len + 7) / 8));
-    while Pending.length pending > 0 do
-      incr rounds;
-      (* A fresh lock epoch per round: every mark the previous round
-         left behind is stale — free by construction — for this round's
-         claims, which is what lets selectAndExec skip releasing. *)
-      let stamp = Lock.new_epoch () in
-      (* --- calculateWindow / getWindowOfTasks --------------------- *)
-      let w_use = min !window (Pending.length pending) in
-      for i = 0 to w_use - 1 do
-        let t = Pending.get pending i in
-        t.alive <- true;
-        t.pure <- false;
-        t.n_pure_children <- 0;
-        t.saved <- None;
-        t.commit_work <- 0;
-        let s = t.id - !gen_base in
-        !slot_task.(s) <- t;
-        !slot_round.(s) <- !rounds
-      done;
-      if tracing then begin
-        emit (Obs.Round_begin { round = !rounds; window = w_use });
-        emit
-          (Obs.Chunk_sized
-             { round = !rounds; tasks = w_use; chunk = chunk_for ~threads w_use })
-      end;
-      (* --- inspect ------------------------------------------------- *)
-      let t_inspect = Clock.now_s () in
-      par_iter pool ~threads ~workers w_use (fun w i ->
-          let ctx = contexts.(w) in
-          let t = Pending.get pending i in
-          Context.reset ctx ~phase:Inspect ~task_id:t.id ~stamp ~saved:None;
-          Context.set_on_defeat ctx defeat;
-          workers.(w).inspections <- workers.(w).inspections + 1;
-          (match operator ctx t.item with
-          | () ->
-              (* No failsafe point reached: a read-only task. Its whole
-                 execution — including pushes — happened now; commit just
-                 publishes the children if selected. *)
-              t.pure <- true;
-              t.pure_children <- Context.pushed_into ctx t.pure_children;
-              t.n_pure_children <- Context.pushed_count ctx
-          | exception Context.Failsafe_reached -> ());
-          t.neighborhood <- Context.neighborhood_into ctx t.neighborhood;
-          t.n_locks <- Context.neighborhood_count ctx;
-          t.task_work <- Context.work_units ctx;
-          if continuation then t.saved <- Context.saved ctx);
-      let dt_inspect = Clock.elapsed_s t_inspect in
-      inspect_s := !inspect_s +. dt_inspect;
-      if tracing then begin
-        let marked = ref 0 and saved = ref 0 in
-        for i = 0 to w_use - 1 do
-          let t = Pending.get pending i in
-          marked := !marked + t.n_locks;
-          if Option.is_some t.saved then incr saved
-        done;
-        emit
-          (Obs.Inspect_done
-             { round = !rounds; marked = !marked; saved_continuations = !saved });
-        emit
-          (Obs.Phase_time { round = !rounds; phase = Obs.Inspect; dt_s = dt_inspect })
-      end;
-      (* --- selectAndExec --------------------------------------------
-         Surviving marks are NOT released: the next round's fresh epoch
-         makes them stale wholesale, deleting one CAS per held lock per
-         task per round from the former mark-clearing pass. *)
-      let t_select = Clock.now_s () in
-      par_iter pool ~threads ~workers w_use (fun w i ->
-          let stats = workers.(w) in
-          let ctx = contexts.(w) in
-          let buf = child_buffers.(w) in
-          let t = Pending.get pending i in
-          let selected = t.alive in
-          if validate then begin
-            let marks_ok = ref true in
-            for k = 0 to t.n_locks - 1 do
-              if not (Lock.holds t.neighborhood.(k) ~stamp t.id) then
-                marks_ok := false
-            done;
-            if selected <> !marks_ok then
-              failwith "Det_sched: defeat flags disagree with neighborhood marks"
-          end;
-          if selected then begin
-            if t.pure then begin
-              for k = 0 to t.n_pure_children - 1 do
-                Child_buffer.push buf ~parent:t.id ~birth:k t.pure_children.(k)
-              done;
-              stats.pushes <- stats.pushes + t.n_pure_children;
-              stats.work <- stats.work + t.task_work
-            end
-            else begin
-              Context.reset ctx ~phase:Commit ~task_id:t.id ~stamp ~saved:t.saved;
-              operator ctx t.item;
-              stats.work <- stats.work + Context.work_units ctx;
-              t.commit_work <- Context.work_units ctx;
-              let n = Context.pushed_count ctx in
-              for k = 0 to n - 1 do
-                Child_buffer.push buf ~parent:t.id ~birth:k (Context.pushed_get ctx k)
-              done;
-              stats.pushes <- stats.pushes + n
-            end;
-            stats.committed <- stats.committed + 1
-          end
-          else stats.aborted <- stats.aborted + 1);
-      let dt_select = Clock.elapsed_s t_select in
-      select_s := !select_s +. dt_select;
-      (* --- sequential glue between rounds ---------------------------
-         [alive] still says which tasks were selected: defeat flags only
-         change during inspect. *)
-      let n_committed = ref 0 in
-      digest := Trace_digest.fold_int !digest w_use;
-      for i = 0 to w_use - 1 do
-        let t = Pending.get pending i in
-        if t.alive then begin
-          incr n_committed;
-          digest := Trace_digest.fold_int !digest t.id
-        end
-      done;
-      digest := Trace_digest.fold_int !digest !n_committed;
-      let round_pushes = ref 0 in
-      for w = 0 to threads - 1 do
-        round_pushes := !round_pushes + Child_buffer.length child_buffers.(w);
-        Child_buffer.transfer ~into:todo child_buffers.(w)
-      done;
-      if tracing then begin
-        emit
-          (Obs.Select_done
-             { round = !rounds; committed = !n_committed;
-               defeated = w_use - !n_committed });
-        emit (Obs.Phase_time { round = !rounds; phase = Obs.Select; dt_s = dt_select });
-        let exec_work = ref 0 in
-        for i = 0 to w_use - 1 do
-          let t = Pending.get pending i in
-          if t.alive then
-            exec_work := !exec_work + (if t.pure then t.task_work else t.commit_work)
-        done;
-        emit
-          (Obs.Execute_done
-             { round = !rounds; work = !exec_work; pushes = !round_pushes })
-      end;
-      if record then begin
-        let round_rec =
-          Array.init w_use (fun i ->
-              let t = Pending.get pending i in
-              {
-                Schedule.acquires = t.n_locks;
-                inspect_work = t.task_work;
-                commit_work = t.commit_work;
-                committed = t.alive;
-                locks = Array.init t.n_locks (fun k -> Lock.id t.neighborhood.(k));
-              })
+  (* Cumulative deterministic counters carried over from the run a
+     resume boundary was captured in. *)
+  let carry_commits = ref 0
+  and carry_aborts = ref 0
+  and carry_acquired = ref 0
+  and carry_work = ref 0
+  and carry_created = ref 0
+  and carry_inspected = ref 0 in
+  (match resume with
+  | None -> Array.iteri (fun i item -> Child_buffer.push todo ~parent:0 ~birth:i item) items
+  | Some b ->
+      if b.b_gen_base > b.b_next_id || b.b_rounds < 0 || b.b_window < 0 then
+        invalid_arg "Det_sched.run: inconsistent resume boundary";
+      if Array.length b.b_pending_ids <> Array.length b.b_pending_items then
+        invalid_arg "Det_sched.run: resume boundary id/item arrays disagree";
+      rounds := b.b_rounds;
+      generations := b.b_generations;
+      next_id := b.b_next_id;
+      gen_base := b.b_gen_base;
+      window := b.b_window;
+      digest := b.b_digest;
+      carry_commits := b.b_commits;
+      carry_aborts := b.b_aborts;
+      carry_acquired := b.b_acquired;
+      carry_work := b.b_work;
+      carry_created := b.b_created;
+      carry_inspected := b.b_inspected;
+      Array.iteri
+        (fun i item ->
+          Child_buffer.push todo ~parent:b.b_todo_parents.(i) ~birth:b.b_todo_births.(i)
+            item)
+        b.b_todo_items;
+      let n = Array.length b.b_pending_items in
+      if n > 0 then begin
+        Array.iter
+          (fun id ->
+            if id < !gen_base || id >= !next_id then
+              invalid_arg "Det_sched.run: resume boundary pending id out of generation")
+          b.b_pending_ids;
+        (* Rebuild the current generation's pending suffix in captured
+           deque order (spread-permuted, not id order). *)
+        let generation =
+          Array.init n (fun i -> make_task b.b_pending_ids.(i) b.b_pending_items.(i))
         in
-        round_records := round_rec :: !round_records
+        Pending.load pending generation;
+        let need = !next_id - !gen_base in
+        if need > Array.length !slot_round then begin
+          slot_task := Array.make need generation.(0);
+          slot_round := Array.make need 0
+        end
       end;
-      (* Failed tasks precede the untried remainder: they came from the
-         window prefix, so the in-place compaction keeps the pending
-         sequence in id order. *)
-      let dropped =
-        Pending.compact pending ~w_use ~keep:(fun i ->
-            not (Pending.get pending i).alive)
+      if tracing then
+        emit (Obs.Resumed { round = b.b_rounds; digest = Trace_digest.to_hex b.b_digest }));
+  (* Capture the state a resume needs to replay round [!rounds + 1]
+     onward. Called from the sequential glue only, after compaction and
+     window adaptation — [!window] is the next round's window. *)
+  let capture () =
+    let np = Pending.length pending in
+    let nt = Child_buffer.length todo in
+    let sum carry f = Array.fold_left (fun a w -> a + f w) carry workers in
+    {
+      b_rounds = !rounds;
+      b_generations = !generations;
+      b_next_id = !next_id;
+      b_gen_base = !gen_base;
+      b_window = !window;
+      b_digest = !digest;
+      b_pending_ids = Array.init np (fun i -> (Pending.get pending i).id);
+      b_pending_items = Array.init np (fun i -> (Pending.get pending i).item);
+      b_todo_parents = Array.init nt (Child_buffer.parent todo);
+      b_todo_births = Array.init nt (Child_buffer.birth todo);
+      b_todo_items = Array.init nt (Child_buffer.item todo);
+      b_commits = sum !carry_commits (fun w -> w.Stats.committed);
+      b_aborts = sum !carry_aborts (fun w -> w.Stats.aborted);
+      b_acquired = sum !carry_acquired (fun w -> w.Stats.acquires);
+      b_work = sum !carry_work (fun w -> w.Stats.work);
+      b_created = sum !carry_created (fun w -> w.Stats.pushes);
+      b_inspected = sum !carry_inspected (fun w -> w.Stats.inspections);
+    }
+  in
+  let stop = ref false in
+  let t0 = Clock.now_s () in
+  (* One iteration per round. A generation boundary is just a round
+     whose pending deque starts empty: the prologue then forms the next
+     generation, exactly as the former nested loops did — the digest
+     fold and event sequence of an uninterrupted run are bit-identical
+     (test/test_digest_fixture.ml pins them). The flat shape is what
+     lets a resume re-enter mid-generation. *)
+  while (not !stop) && (Pending.length pending > 0 || Child_buffer.length todo > 0) do
+    if Pending.length pending = 0 then begin
+      incr generations;
+      let generation = form_generation ~static_id ~spread ~next_id todo in
+      Child_buffer.clear todo;
+      let gen_len = Array.length generation in
+      gen_base := !next_id - gen_len;
+      if gen_len > Array.length !slot_round && gen_len > 0 then begin
+        slot_task := Array.make gen_len generation.(0);
+        slot_round := Array.make gen_len 0
+      end;
+      Pending.load pending generation;
+      digest := Trace_digest.fold_int !digest gen_len;
+      if tracing then
+        emit (Obs.Generation_begin { generation = !generations; tasks = gen_len });
+      if !window = 0 then
+        window :=
+          (match initial_window with Some w -> max 1 w | None -> max 32 ((gen_len + 7) / 8))
+    end;
+    incr rounds;
+    (* A fresh lock epoch per round: every mark the previous round
+       left behind is stale — free by construction — for this round's
+       claims, which is what lets selectAndExec skip releasing. *)
+    let stamp = Lock.new_epoch () in
+    (* --- calculateWindow / getWindowOfTasks --------------------- *)
+    let w_use = min !window (Pending.length pending) in
+    for i = 0 to w_use - 1 do
+      let t = Pending.get pending i in
+      t.alive <- true;
+      t.pure <- false;
+      t.n_pure_children <- 0;
+      t.saved <- None;
+      t.commit_work <- 0;
+      let s = t.id - !gen_base in
+      !slot_task.(s) <- t;
+      !slot_round.(s) <- !rounds
+    done;
+    if tracing then begin
+      emit (Obs.Round_begin { round = !rounds; window = w_use });
+      emit
+        (Obs.Chunk_sized
+           { round = !rounds; tasks = w_use; chunk = chunk_for ~threads w_use })
+    end;
+    (* --- inspect ------------------------------------------------- *)
+    let t_inspect = Clock.now_s () in
+    par_iter pool ~threads ~workers w_use (fun w i ->
+        let ctx = contexts.(w) in
+        let t = Pending.get pending i in
+        Context.reset ctx ~phase:Inspect ~task_id:t.id ~stamp ~saved:None;
+        Context.set_on_defeat ctx defeat;
+        workers.(w).inspections <- workers.(w).inspections + 1;
+        (match operator ctx t.item with
+        | () ->
+            (* No failsafe point reached: a read-only task. Its whole
+               execution — including pushes — happened now; commit just
+               publishes the children if selected. *)
+            t.pure <- true;
+            t.pure_children <- Context.pushed_into ctx t.pure_children;
+            t.n_pure_children <- Context.pushed_count ctx
+        | exception Context.Failsafe_reached -> ());
+        t.neighborhood <- Context.neighborhood_into ctx t.neighborhood;
+        t.n_locks <- Context.neighborhood_count ctx;
+        t.task_work <- Context.work_units ctx;
+        if continuation then t.saved <- Context.saved ctx);
+    let dt_inspect = Clock.elapsed_s t_inspect in
+    inspect_s := !inspect_s +. dt_inspect;
+    if tracing then begin
+      let marked = ref 0 and saved = ref 0 in
+      for i = 0 to w_use - 1 do
+        let t = Pending.get pending i in
+        marked := !marked + t.n_locks;
+        if Option.is_some t.saved then incr saved
+      done;
+      emit
+        (Obs.Inspect_done
+           { round = !rounds; marked = !marked; saved_continuations = !saved });
+      emit
+        (Obs.Phase_time { round = !rounds; phase = Obs.Inspect; dt_s = dt_inspect })
+    end;
+    (* --- selectAndExec --------------------------------------------
+       Surviving marks are NOT released: the next round's fresh epoch
+       makes them stale wholesale, deleting one CAS per held lock per
+       task per round from the former mark-clearing pass. *)
+    let t_select = Clock.now_s () in
+    par_iter pool ~threads ~workers w_use (fun w i ->
+        let stats = workers.(w) in
+        let ctx = contexts.(w) in
+        let buf = child_buffers.(w) in
+        let t = Pending.get pending i in
+        let selected = t.alive in
+        if validate then begin
+          let marks_ok = ref true in
+          for k = 0 to t.n_locks - 1 do
+            if not (Lock.holds t.neighborhood.(k) ~stamp t.id) then
+              marks_ok := false
+          done;
+          if selected <> !marks_ok then
+            failwith "Det_sched: defeat flags disagree with neighborhood marks"
+        end;
+        if selected then begin
+          if t.pure then begin
+            for k = 0 to t.n_pure_children - 1 do
+              Child_buffer.push buf ~parent:t.id ~birth:k t.pure_children.(k)
+            done;
+            stats.pushes <- stats.pushes + t.n_pure_children;
+            stats.work <- stats.work + t.task_work
+          end
+          else begin
+            Context.reset ctx ~phase:Commit ~task_id:t.id ~stamp ~saved:t.saved;
+            operator ctx t.item;
+            stats.work <- stats.work + Context.work_units ctx;
+            t.commit_work <- Context.work_units ctx;
+            let n = Context.pushed_count ctx in
+            for k = 0 to n - 1 do
+              Child_buffer.push buf ~parent:t.id ~birth:k (Context.pushed_get ctx k)
+            done;
+            stats.pushes <- stats.pushes + n
+          end;
+          stats.committed <- stats.committed + 1
+        end
+        else stats.aborted <- stats.aborted + 1);
+    let dt_select = Clock.elapsed_s t_select in
+    select_s := !select_s +. dt_select;
+    (* --- sequential glue between rounds ---------------------------
+       [alive] still says which tasks were selected: defeat flags only
+       change during inspect. *)
+    let n_committed = ref 0 in
+    digest := Trace_digest.fold_int !digest w_use;
+    for i = 0 to w_use - 1 do
+      let t = Pending.get pending i in
+      if t.alive then begin
+        incr n_committed;
+        digest := Trace_digest.fold_int !digest t.id
+      end
+    done;
+    digest := Trace_digest.fold_int !digest !n_committed;
+    let round_pushes = ref 0 in
+    for w = 0 to threads - 1 do
+      round_pushes := !round_pushes + Child_buffer.length child_buffers.(w);
+      Child_buffer.transfer ~into:todo child_buffers.(w)
+    done;
+    if tracing then begin
+      emit
+        (Obs.Select_done
+           { round = !rounds; committed = !n_committed;
+             defeated = w_use - !n_committed });
+      emit (Obs.Phase_time { round = !rounds; phase = Obs.Select; dt_s = dt_select });
+      let exec_work = ref 0 in
+      for i = 0 to w_use - 1 do
+        let t = Pending.get pending i in
+        if t.alive then
+          exec_work := !exec_work + (if t.pure then t.task_work else t.commit_work)
+      done;
+      emit
+        (Obs.Execute_done
+           { round = !rounds; work = !exec_work; pushes = !round_pushes })
+    end;
+    if record then begin
+      let round_rec =
+        Array.init w_use (fun i ->
+            let t = Pending.get pending i in
+            {
+              Schedule.acquires = t.n_locks;
+              inspect_work = t.task_work;
+              commit_work = t.commit_work;
+              committed = t.alive;
+              locks = Array.init t.n_locks (fun k -> Lock.id t.neighborhood.(k));
+            })
       in
-      assert (dropped = !n_committed);
-      let old_w = !window in
-      window := adapt_window ~target_ratio ~window:old_w ~committed:!n_committed ~w_use;
-      if tracing && !window <> old_w then
-        emit
-          (Obs.Window_adapted
-             { old_w; new_w = !window;
-               ratio = float_of_int !n_committed /. float_of_int w_use })
-    done
+      round_records := round_rec :: !round_records
+    end;
+    (* Failed tasks precede the untried remainder: they came from the
+       window prefix, so the in-place compaction keeps the pending
+       sequence in id order. *)
+    let dropped =
+      Pending.compact pending ~w_use ~keep:(fun i ->
+          not (Pending.get pending i).alive)
+    in
+    assert (dropped = !n_committed);
+    let old_w = !window in
+    window := adapt_window ~target_ratio ~window:old_w ~committed:!n_committed ~w_use;
+    if tracing && !window <> old_w then
+      emit
+        (Obs.Window_adapted
+           { old_w; new_w = !window;
+             ratio = float_of_int !n_committed /. float_of_int w_use });
+    (* --- round boundary: checkpoint / replay stop ----------------- *)
+    (match checkpoint with
+    | Some (every, f) when !rounds mod every = 0 ->
+        if tracing then
+          emit
+            (Obs.Checkpoint_taken
+               { round = !rounds; digest = Trace_digest.to_hex !digest });
+        f (capture ())
+    | _ -> ());
+    match stop_after with Some r when !rounds >= r -> stop := true | _ -> ()
   done;
   let time_s = Clock.elapsed_s t0 in
   (* Attribute the pool's spin/park deltas over this run to the workers
@@ -457,6 +591,21 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~options ~static_id 
     Stats.merge ~digest:!digest ~threads ~rounds:!rounds ~generations:!generations ~time_s
       ~phases:(Stats.breakdown ~inspect_s:!inspect_s ~select_s:!select_s ~time_s)
       workers
+  in
+  (* Fold in the deterministic counters from before the resume boundary,
+     so a resumed run reports run-so-far totals; rounds, generations and
+     the digest are already cumulative through the seeded refs. All
+     carries are zero on a fresh run. *)
+  let stats =
+    {
+      stats with
+      Stats.commits = stats.Stats.commits + !carry_commits;
+      aborts = stats.Stats.aborts + !carry_aborts;
+      acquired = stats.Stats.acquired + !carry_acquired;
+      work_units = stats.Stats.work_units + !carry_work;
+      created = stats.Stats.created + !carry_created;
+      inspected = stats.Stats.inspected + !carry_inspected;
+    }
   in
   let schedule = if record then Some (Schedule.Rounds (List.rev !round_records)) else None in
   (stats, schedule)

@@ -20,9 +20,42 @@ val adapt_window : target_ratio:float -> window:int -> committed:int -> w_use:in
     [target_ratio], shrinks proportionally (floor 32) below it. Exposed
     for the property tests; the scheduler calls exactly this. *)
 
+type 'item boundary = {
+  b_rounds : int;  (** rounds completed when the boundary was taken *)
+  b_generations : int;
+  b_next_id : int;
+  b_gen_base : int;
+  b_window : int;  (** the {e next} round's window (already adapted) *)
+  b_digest : Trace_digest.t;  (** digest prefix through round [b_rounds] *)
+  b_pending_ids : int array;  (** task ids, in pending-deque order *)
+  b_pending_items : 'item array;
+  b_todo_parents : int array;
+  b_todo_births : int array;
+  b_todo_items : 'item array;
+  b_commits : int;
+  b_aborts : int;
+  b_acquired : int;
+  b_work : int;
+  b_created : int;
+  b_inspected : int;
+}
+(** Round-boundary scheduler state: everything [run] needs to resume at
+    round [b_rounds + 1] and reproduce the uninterrupted run's schedule
+    digest for digest. The pending deque is captured in deque order (the
+    spread permutation means that is {e not} id order), and the current
+    generation's undrained child buffer rides along — a mid-generation
+    boundary owns children pushed by earlier rounds. The six counter
+    fields are the deterministic subset of the worker counters,
+    cumulative since the original round 1; timing-dependent counters
+    (atomics, chunks, spins, parks) and wall-clock restart from zero on
+    resume. *)
+
 val run :
   ?record:bool ->
   ?sink:Obs.sink ->
+  ?checkpoint:int * ('item boundary -> unit) ->
+  ?resume:'item boundary ->
+  ?stop_after:int ->
   ?threads:int ->
   pool:Parallel.Domain_pool.t ->
   options:Policy.det_options ->
@@ -42,4 +75,21 @@ val run :
     [Window_adapted] when the adaptive controller resizes; and final
     per-worker [Worker_counters]. Events are emitted from sequential
     sections only, and every field outside [Phase_time] / [Chunk_sized] /
-    [Worker_counters] is deterministic. The sink is not closed. *)
+    [Worker_counters] is deterministic. The sink is not closed.
+
+    [checkpoint:(k, f)] calls [f] with a fresh {!boundary} after every
+    [k]-th round (from the sequential glue — [f] may serialize the items
+    but must not call back into the scheduler), preceded by a
+    deterministic [Obs.Checkpoint_taken] event when tracing. Raises
+    [Invalid_argument] if [k < 1].
+
+    [resume] restarts from a boundary instead of [items] (which is then
+    ignored): round numbering, id assignment, the adaptive window and
+    the digest continue exactly where the boundary stopped, so a
+    completed resumed run's digest equals the uninterrupted run's — at
+    any thread count. Emits [Obs.Resumed] when tracing.
+
+    [stop_after:r] stops after the first round boundary with
+    [rounds >= r] (a no-op if the run finishes earlier) — the replay-to
+    primitive. The returned stats cover the executed prefix. Raises
+    [Invalid_argument] if [r < 1]. *)

@@ -59,6 +59,71 @@ val opt : ('a -> ('i, 's) t -> ('i, 's) t) -> 'a option -> ('i, 's) t -> ('i, 's
 (** [opt f (Some v)] is [f v]; [opt f None] is the identity — for
     threading optional arguments through a builder chain. *)
 
+(** {1 Checkpoint & replay}
+
+    All of these require a det policy: {!exec} raises
+    [Invalid_argument] if any is combined with serial or nondet.
+    Validation failures (option/app/static-id mismatches, cadence
+    without destination) also raise [Invalid_argument]; snapshot
+    decode/io failures raise [Failure] with the {!Snapshot.error}
+    rendering. *)
+
+val app : string -> ('item, 'state) t -> ('item, 'state) t
+(** Tag the description with an application name, recorded in
+    snapshots; resuming from a snapshot whose tag disagrees is
+    refused. Untagged descriptions and snapshots skip the check. *)
+
+val snapshot_state :
+  save:(unit -> 'st) -> restore:('st -> unit) -> ('item, 'state) t -> ('item, 'state) t
+(** Register the application's world state with the snapshot machinery:
+    [save ()] captures it (called at each checkpoint; the result is
+    marshalled, so it must be plain data — copy your arrays), [restore]
+    writes a captured value back (called once when resuming from a
+    serialized snapshot, before the first round). Without a hook,
+    snapshots carry scheduler state only and can resume {e live} (in
+    the same process, against the already-advanced world via {!resume})
+    but not from a file in a fresh process. *)
+
+val checkpoint_every : int -> ('item, 'state) t -> ('item, 'state) t
+(** Capture a snapshot after every [k]-th round. Requires a
+    destination: {!checkpoint_to}, {!on_checkpoint} or both. Either
+    destination alone implies a cadence of 1. *)
+
+val checkpoint_to : string -> ('item, 'state) t -> ('item, 'state) t
+(** Write each snapshot to this path (atomically — the file always
+    holds the latest complete snapshot). *)
+
+val on_checkpoint : ('item Snapshot.t -> unit) -> ('item, 'state) t -> ('item, 'state) t
+(** Receive each snapshot in-process (e.g. to keep the latest boundary
+    for a live resume, or to ship it elsewhere). Runs in the scheduler's
+    sequential glue; must not call back into the run. *)
+
+val resume : 'item Det_sched.boundary -> ('item, 'state) t -> ('item, 'state) t
+(** Live resume: restart the scheduler from a boundary captured in this
+    process against a world that already reflects rounds
+    [1 .. boundary.b_rounds]. No validation — the caller vouches that
+    the description and world are the ones the boundary came from. *)
+
+val resume_from : string -> ('item, 'state) t -> ('item, 'state) t
+(** Resume from a snapshot file: validate it against this description
+    (options, app tag, static-id flag), restore the application state
+    it carries through the {!snapshot_state} hook, and continue at the
+    captured round. The initial items of the description are ignored.
+    The digest of the completed resumed run equals the uninterrupted
+    run's — at any thread count. *)
+
+val resume_from_bytes : string -> ('item, 'state) t -> ('item, 'state) t
+(** {!resume_from} for an in-memory encoded snapshot. *)
+
+val stop_after : int -> ('item, 'state) t -> ('item, 'state) t
+(** Stop at the first round boundary [>= r] (replay-to). A no-op if the
+    run finishes earlier; the report covers the executed prefix. *)
+
+val encode_snapshot : ('item, 'state) t -> 'item Det_sched.boundary -> string
+(** Serialize a boundary exactly as a {!checkpoint_to} of this
+    description would (including the {!snapshot_state} capture) —
+    for tests and custom transports. *)
+
 val exec : ('item, 'state) t -> report
 (** Run all tasks (and the tasks they create) to completion. The event
     stream is bracketed by [Run_begin] and [Run_end]. *)

@@ -1,0 +1,61 @@
+(** Versioned, checksummed round-boundary snapshots.
+
+    The serialized form of a {!Det_sched.boundary} plus the run
+    configuration it is valid for. A snapshot written by one process can
+    resume in another — at any thread count; reproducing the
+    uninterrupted run's digest under a different thread count is the
+    determinism claim itself, so the thread count is deliberately not
+    recorded.
+
+    Scheduler state is encoded structurally (little-endian integers and
+    the digest prefix); only the opaque item / application-state payload
+    goes through [Marshal] (no closures — items must be plain data).
+    The whole body is guarded by an FNV-1a checksum: decoding checks
+    magic, then version, then checksum, then shape, and reports the
+    first failure. *)
+
+type 'item t = {
+  app : string;
+      (** Application tag ({!Run.app}); resume refuses a snapshot whose
+          tag disagrees with the run description's. [""] = untagged. *)
+  options : string;
+      (** [Policy.Det_options.to_string] rendering of the scheduling
+          options the boundary was captured under. Resuming under
+          different options would change the schedule, so resume
+          validates equality. *)
+  static_id : bool;  (** whether the run used a static-id fast path *)
+  boundary : 'item Det_sched.boundary;
+  state : Obj.t option;
+      (** Application world state captured by the {!Run.snapshot_state}
+          hook, if the run description has one. [None] for hook-less
+          descriptions (live in-process resume only). *)
+}
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Bad_checksum
+  | Corrupt of string  (** structurally invalid body (with detail) *)
+  | Io of string
+
+val error_to_string : error -> string
+
+val version : int
+(** Current format version (written by {!encode}, required by
+    {!decode}). *)
+
+val encode : 'item t -> string
+(** Raises [Invalid_argument] (from [Marshal]) if the items or state
+    contain closures or other unmarshallable values. *)
+
+val decode : string -> ('item t, error) result
+(** Not type-safe across applications — the ['item] the caller picks
+    must match what was encoded; the [app] tag exists so callers can
+    check provenance before touching the items. *)
+
+val save : path:string -> 'item t -> (unit, error) result
+(** Atomic: writes [path ^ ".tmp"], then renames over [path] — a crash
+    mid-checkpoint never leaves a torn snapshot behind. *)
+
+val load : path:string -> ('item t, error) result

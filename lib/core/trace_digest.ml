@@ -56,4 +56,15 @@ let equal = Int64.equal
 
 let to_hex t = Printf.sprintf "%016Lx" t
 
+(* Inverse of the printed forms: 16 lowercase hex digits, or "-" for
+   [absent] (matching [pp]). [Int64.of_string "0x..."] accepts the full
+   unsigned range, so digests with the top bit set round-trip. *)
+let of_hex s =
+  if String.equal s "-" then Some absent
+  else if
+    String.length s = 16
+    && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+  then Int64.of_string_opt ("0x" ^ s)
+  else None
+
 let pp ppf t = if is_absent t then Fmt.string ppf "-" else Fmt.string ppf (to_hex t)

@@ -40,5 +40,9 @@ val equal : t -> t -> bool
 val to_hex : t -> string
 (** 16 lowercase hex digits — the printed digest format. *)
 
+val of_hex : string -> t option
+(** Parse what {!to_hex} or {!pp} printed: 16 lowercase hex digits, or
+    ["-"] for {!absent}. [None] on anything else. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints {!to_hex}, or ["-"] for {!absent}. *)

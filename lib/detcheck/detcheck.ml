@@ -311,69 +311,91 @@ module Gen = struct
 
   let key_of (depth, key) = (depth * 10_000_019) + key
 
-  let case_of_params p =
-    let name =
-      Printf.sprintf "gen(seed=%d,%s,tasks=%d,locks=%d,depth=%d)" p.seed
-        (topology_name p.topology) p.tasks p.locks p.max_depth
+  let name_of_params p =
+    Printf.sprintf "gen(seed=%d,%s,tasks=%d,locks=%d,depth=%d)" p.seed
+      (topology_name p.topology) p.tasks p.locks p.max_depth
+
+  (* A fresh world (locks + output cells) and the unexecuted run
+     description over it — the checkpoint/replay layer exercises the
+     description directly (checkpoint it, crash it, resume it), so it is
+     split out of [case_of_params]. The cell array is the world's entire
+     state; the snapshot hook copies the lists in and out, making gen
+     cases cross-process resumable. *)
+  type instance = {
+    run : (int * int, int) Galois.Run.t;
+    output_digest : unit -> D.t;
+    canonical_digest : commits:int -> D.t;
+  }
+
+  let instance ?(static_id = false) p =
+    let locks = Galois.Lock.create_array p.locks in
+    let cells = Array.init p.locks (fun _ -> ref []) in
+    let operator ctx item =
+      let g = item_rng p item in
+      let neigh = neighborhood p item in
+      List.iter (fun j -> Galois.Context.acquire ctx locks.(j)) neigh;
+      Galois.Context.work ctx (1 + Splitmix.int g p.work_max);
+      let pure = Splitmix.float g < p.pure_prob in
+      if pure then
+        (* Read-only task: no failsafe, no writes — but it may still
+           create work (exercises the scheduler's pure-task path). *)
+        List.iter (Galois.Context.push ctx) (children p item)
+      else begin
+        let value = token item * 31 in
+        if Splitmix.float g < p.save_prob then Galois.Context.save ctx value;
+        Galois.Context.failsafe ctx;
+        (* The continuation must be an optimization, not a semantic
+           switch: recomputation yields the same value. *)
+        let v = match Galois.Context.saved ctx with Some v -> v | None -> value in
+        List.iter (fun j -> cells.(j) := (token item + v) :: !(cells.(j))) neigh;
+        List.iter (Galois.Context.push ctx) (children p item)
+      end
     in
-    let run ~policy ~pool ~static_id =
-      let locks = Galois.Lock.create_array p.locks in
-      let cells = Array.init p.locks (fun _ -> ref []) in
-      let operator ctx item =
-        let g = item_rng p item in
-        let neigh = neighborhood p item in
-        List.iter (fun j -> Galois.Context.acquire ctx locks.(j)) neigh;
-        Galois.Context.work ctx (1 + Splitmix.int g p.work_max);
-        let pure = Splitmix.float g < p.pure_prob in
-        if pure then
-          (* Read-only task: no failsafe, no writes — but it may still
-             create work (exercises the scheduler's pure-task path). *)
-          List.iter (Galois.Context.push ctx) (children p item)
-        else begin
-          let value = token item * 31 in
-          if Splitmix.float g < p.save_prob then Galois.Context.save ctx value;
-          Galois.Context.failsafe ctx;
-          (* The continuation must be an optimization, not a semantic
-             switch: recomputation yields the same value. *)
-          let v = match Galois.Context.saved ctx with Some v -> v | None -> value in
-          List.iter (fun j -> cells.(j) := (token item + v) :: !(cells.(j))) neigh;
-          List.iter (Galois.Context.push ctx) (children p item)
-        end
+    let items = Array.init p.tasks (fun k -> (0, k)) in
+    let run =
+      Galois.Run.make ~operator items
+      |> Galois.Run.app "gen"
+      |> Galois.Run.snapshot_state
+           ~save:(fun () -> Array.map (fun c -> !c) cells)
+           ~restore:(fun saved -> Array.iteri (fun i v -> cells.(i) := v) saved)
+      |> if static_id then Galois.Run.static_id key_of else Fun.id
+    in
+    let output_digest () =
+      Array.fold_left
+        (fun d cell ->
+          List.fold_left D.fold_int (D.fold_int d (List.length !cell)) (List.rev !cell))
+        D.seed cells
+    in
+    let canonical_digest ~commits =
+      let d =
+        Array.fold_left
+          (fun d cell ->
+            D.fold_int64 d (List.fold_left (fun s x -> Int64.add s (mix x)) 0L !cell))
+          D.seed cells
       in
-      let items = Array.init p.tasks (fun k -> (0, k)) in
-      let static_id = if static_id then Some key_of else None in
+      D.fold_int d commits
+    in
+    { run; output_digest; canonical_digest }
+
+  let case_of_params p =
+    let run ~policy ~pool ~static_id =
+      let inst = instance ~static_id p in
       let report =
-        Galois.Run.make ~operator items
+        inst.run
         |> Galois.Run.policy policy
         |> Galois.Run.pool pool
-        |> Galois.Run.opt Galois.Run.static_id static_id
         |> Galois.Run.trace
         |> Galois.Run.exec
       in
-      let output_digest =
-        Array.fold_left
-          (fun d cell ->
-            List.fold_left D.fold_int (D.fold_int d (List.length !cell)) (List.rev !cell))
-          D.seed cells
-      in
-      let canonical_digest =
-        let d =
-          Array.fold_left
-            (fun d cell ->
-              D.fold_int64 d (List.fold_left (fun s x -> Int64.add s (mix x)) 0L !cell))
-            D.seed cells
-        in
-        D.fold_int d report.stats.commits
-      in
       {
         sched_digest = report.stats.digest;
-        output_digest;
-        canonical_digest;
+        output_digest = inst.output_digest ();
+        canonical_digest = inst.canonical_digest ~commits:report.stats.commits;
         commits = report.stats.commits;
         det_trace = Obs.deterministic_lines (Option.value ~default:[] report.trace);
       }
     in
-    { name; static_id_capable = p.unique_children; run }
+    { name = name_of_params p; static_id_capable = p.unique_children; run }
 
   let case ~seed = case_of_params (random_params ~seed)
 end
@@ -482,4 +504,111 @@ module App_cases = struct
       }
     in
     { name = Printf.sprintf "dmr(points=%d,seed=%d)" points seed; static_id_capable = false; run }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cases for the checkpoint/replay harness                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike [case] (which executes internally and reports digests), a
+   replay case hands out the unexecuted run description itself, so the
+   harness can checkpoint it, crash it and resume it. The item/state
+   types differ per app, hence the existential. [fresh] builds a brand
+   new world each call: crash/resume tests need one world for the
+   uninterrupted reference run and a separate one to crash. *)
+module Replay_cases = struct
+  type t =
+    | Case : {
+        name : string;
+        static_id_capable : bool;
+        snapshot_capable : bool;
+            (* the description carries a snapshot_state hook, so
+               serialized (cross-process) resume is possible; without it
+               only live in-process resume is *)
+        fresh : static_id:bool -> unit -> ('i, 's) Galois.Run.t * (unit -> D.t);
+      }
+        -> t
+
+  let name (Case c) = c.name
+  let static_id_capable (Case c) = c.static_id_capable
+  let snapshot_capable (Case c) = c.snapshot_capable
+
+  let gen ~seed =
+    let p = Gen.random_params ~seed in
+    Case
+      {
+        name = Gen.name_of_params p;
+        static_id_capable = p.Gen.unique_children;
+        snapshot_capable = true;
+        fresh =
+          (fun ~static_id () ->
+            let inst = Gen.instance ~static_id p in
+            (inst.Gen.run, inst.Gen.output_digest));
+      }
+
+  let digest_ints arr = Array.fold_left D.fold_int D.seed arr
+
+  let bfs ~n ~seed =
+    let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
+    Case
+      {
+        name = Printf.sprintf "bfs(n=%d,seed=%d)" n seed;
+        static_id_capable = false;
+        snapshot_capable = true;
+        fresh =
+          (fun ~static_id:_ () ->
+            let run, dist = Apps.Bfs.plan g ~source:0 in
+            (run, fun () -> digest_ints dist));
+      }
+
+  let sssp ~n ~seed =
+    let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
+    let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
+    Case
+      {
+        name = Printf.sprintf "sssp(n=%d,seed=%d)" n seed;
+        static_id_capable = false;
+        snapshot_capable = true;
+        fresh =
+          (fun ~static_id:_ () ->
+            let run, dist = Apps.Sssp.plan g w ~source:0 in
+            (run, fun () -> digest_ints dist));
+      }
+
+  let boruvka ~n ~seed =
+    let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n ~k:4 ()) in
+    let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
+    Case
+      {
+        name = Printf.sprintf "boruvka(n=%d,seed=%d)" n seed;
+        static_id_capable = false;
+        snapshot_capable = false;
+        fresh =
+          (fun ~static_id:_ () ->
+            let run, forest = Apps.Boruvka.plan g w in
+            ( run,
+              fun () ->
+                let f = forest () in
+                D.fold_int
+                  (List.fold_left D.fold_int D.seed f.Apps.Boruvka.parent_edge)
+                  f.Apps.Boruvka.total_weight ));
+      }
+
+  let dmr ~points ~seed =
+    let pts = Geometry.Point.random_unit_square ~seed points in
+    Case
+      {
+        name = Printf.sprintf "dmr(points=%d,seed=%d)" points seed;
+        static_id_capable = false;
+        snapshot_capable = false;
+        fresh =
+          (fun ~static_id:_ () ->
+            let mesh = Apps.Dt.serial pts in
+            ( Apps.Dmr.plan mesh,
+              fun () ->
+                List.fold_left
+                  (fun d tri ->
+                    List.fold_left (fun d (x, y) -> D.fold_float (D.fold_float d x) y) d tri)
+                  D.seed (Apps.Dt.canonical mesh) ));
+      }
 end

@@ -110,6 +110,24 @@ module Gen : sig
   }
 
   val random_params : seed:int -> params
+
+  val name_of_params : params -> string
+  (** The case name [case_of_params] would report. *)
+
+  type instance = {
+    run : (int * int, int) Galois.Run.t;
+        (** the unexecuted description over this instance's fresh world,
+            tagged [app "gen"] with a snapshot-state hook over the
+            output cells *)
+    output_digest : unit -> Galois.Trace_digest.t;
+    canonical_digest : commits:int -> Galois.Trace_digest.t;
+  }
+  (** A fresh world plus its run description, not yet executed — the
+      checkpoint/replay harness's entry point ([case_of_params] runs
+      one instance per [run] call). *)
+
+  val instance : ?static_id:bool -> params -> instance
+
   val case_of_params : params -> case
 
   val case : seed:int -> case
@@ -129,4 +147,38 @@ module App_cases : sig
       configuration-dependent, but must be thread-invariant at any fixed
       configuration (its canonical triangle list is the output
       digest). *)
+end
+
+(** Cases for the checkpoint/replay harness (lib/replay, test_replay):
+    instead of executing internally, each case hands out its unexecuted
+    run description so the harness can checkpoint / crash / resume it.
+    [fresh] builds a brand-new world per call — crash/resume tests need
+    one world for the uninterrupted reference and a separate one to
+    crash. Names match the {!Gen} / {!App_cases} names for the same
+    parameters, so pinned fixture entries can be cross-referenced. *)
+module Replay_cases : sig
+  type t =
+    | Case : {
+        name : string;
+        static_id_capable : bool;
+        snapshot_capable : bool;
+            (** carries a snapshot-state hook: serialized cross-process
+                resume works, not just live in-process resume *)
+        fresh :
+          static_id:bool ->
+          unit ->
+          ('i, 's) Galois.Run.t * (unit -> Galois.Trace_digest.t);
+            (** a fresh world's description plus an output digest read
+                off that world (call after executing) *)
+      }
+        -> t
+
+  val name : t -> string
+  val static_id_capable : t -> bool
+  val snapshot_capable : t -> bool
+  val gen : seed:int -> t
+  val bfs : n:int -> seed:int -> t
+  val sssp : n:int -> seed:int -> t
+  val boruvka : n:int -> seed:int -> t
+  val dmr : points:int -> seed:int -> t
 end

@@ -34,6 +34,8 @@ type event =
       spins : int;
       parks : int;
     }
+  | Checkpoint_taken of { round : int; digest : string }
+  | Resumed of { round : int; digest : string }
   | Run_end of { commits : int; rounds : int; generations : int }
 
 type stamped = { at_s : float; event : event }
@@ -41,7 +43,8 @@ type stamped = { at_s : float; event : event }
 let deterministic = function
   | Run_begin _ | Phase_time _ | Chunk_sized _ | Worker_counters _ -> false
   | Generation_begin _ | Round_begin _ | Inspect_done _ | Select_done _
-  | Execute_done _ | Window_adapted _ | Run_end _ ->
+  | Execute_done _ | Window_adapted _ | Checkpoint_taken _ | Resumed _
+  | Run_end _ ->
       true
 
 let pp_event ppf = function
@@ -75,6 +78,9 @@ let pp_event ppf = function
          parks=%d"
         worker committed aborted acquires atomics work pushes inspections
         chunks spins parks
+  | Checkpoint_taken { round; digest } ->
+      Fmt.pf ppf "checkpoint-taken round=%d digest=%s" round digest
+  | Resumed { round; digest } -> Fmt.pf ppf "resumed round=%d digest=%s" round digest
   | Run_end { commits; rounds; generations } ->
       Fmt.pf ppf "run-end commits=%d rounds=%d generations=%d" commits rounds
         generations
@@ -206,6 +212,10 @@ module Jsonl = struct
            ("atomics", I atomics); ("work", I work); ("pushes", I pushes);
            ("inspections", I inspections); ("chunks", I chunks);
            ("spins", I spins); ("parks", I parks) ])
+    | Checkpoint_taken { round; digest } ->
+        ("checkpoint_taken", [ ("round", I round); ("digest", S digest) ])
+    | Resumed { round; digest } ->
+        ("resumed", [ ("round", I round); ("digest", S digest) ])
     | Run_end { commits; rounds; generations } ->
         ("run_end",
          [ ("commits", I commits); ("rounds", I rounds);
@@ -437,6 +447,11 @@ module Jsonl = struct
             chunks = get_int fs "chunks";
             spins = get_int fs "spins";
             parks = get_int fs "parks" }
+    | "checkpoint_taken" ->
+        Checkpoint_taken
+          { round = get_int fs "round"; digest = get_string fs "digest" }
+    | "resumed" ->
+        Resumed { round = get_int fs "round"; digest = get_string fs "digest" }
     | "run_end" ->
         Run_end
           { commits = get_int fs "commits"; rounds = get_int fs "rounds";

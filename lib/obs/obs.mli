@@ -73,6 +73,15 @@ type event =
           waits that parked on the condvar slow path). Task→worker
           attribution and synchronization behavior depend on timing, so
           these are not deterministic. *)
+  | Checkpoint_taken of { round : int; digest : string }
+      (** A round-boundary snapshot was captured after [round], with the
+          digest prefix through that round (hex). Emitted only when
+          checkpointing is enabled; round and digest are deterministic,
+          so two checkpointed runs must agree on every such event. *)
+  | Resumed of { round : int; digest : string }
+      (** The scheduler restarted from a round-boundary snapshot taken
+          after [round] and will replay round [round + 1] next. Emitted
+          only on resume. *)
   | Run_end of { commits : int; rounds : int; generations : int }
       (** Last event of a run. *)
 

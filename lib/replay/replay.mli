@@ -1,0 +1,72 @@
+(** Checkpoint/replay harnesses over the {!Galois.Run} replay
+    primitives: lockstep dual-run digest cross-checking (the DMR-style
+    verifier behind [detcheck --dmr-style]) and crash-injection
+    (run, kill at a round, resume, compare with the uninterrupted
+    run). The primitives themselves — [Run.checkpoint_every],
+    [Run.resume_from], [Run.stop_after] and the snapshot codec — live
+    in lib/core; this layer only composes them. *)
+
+module Snapshot = Galois.Snapshot
+(** Re-exported for callers that depend on [replay] alone. *)
+
+(** Run a job twice (any two thread counts / pools) and cross-check the
+    deterministic digest prefix at every shared round boundary —
+    dual-modular-redundancy-style execution, with divergence localized
+    to the first differing boundary. *)
+module Lockstep : sig
+  type trail = (int * Galois.Trace_digest.t) list
+  (** [(round, digest prefix through that round)] in ascending round
+      order. *)
+
+  type verdict =
+    | Agree of { compared : int }  (** all shared boundaries matched *)
+    | Diverge of { round : int; a : Galois.Trace_digest.t; b : Galois.Trace_digest.t }
+        (** earliest shared boundary where the digests differ *)
+    | Disjoint  (** no shared boundaries — nothing was compared *)
+
+  val collect :
+    every:int -> ('item, 'state) Galois.Run.t -> trail * Galois.Run.report
+  (** Execute the description with an [every]-round checkpoint hook
+      that records [(round, digest)] — the description must already
+      carry a det policy (and pool, if shared). *)
+
+  val first_divergence : trail -> trail -> verdict
+  (** Compare two trails at their common rounds (cadences may differ);
+      rounds sampled by only one side are skipped. *)
+
+  val pp_verdict : Format.formatter -> verdict -> unit
+end
+
+type crash_outcome = {
+  full : Galois.Run.report;  (** the uninterrupted reference run *)
+  resumed : Galois.Run.report;
+      (** the run that was stopped at [crash_round] and resumed to
+          completion; its deterministic stats (digest, rounds, commits)
+          must equal [full]'s *)
+  crash_round : int;
+      (** the round the crash boundary was taken after; 0 if the run
+          finished without taking any boundary (empty task pool) *)
+}
+
+val crash_resume :
+  ?resume_policy:Galois.Policy.t ->
+  at:int ->
+  full:('i, 'sa) Galois.Run.t ->
+  crash:('j, 'sb) Galois.Run.t ->
+  unit ->
+  crash_outcome
+(** Crash-injection harness. [full] and [crash] must be the same job
+    over two {e separate} worlds (both with det policies applied):
+    [full] runs uninterrupted; [crash] is executed with per-round
+    checkpointing and stopped at the first boundary [>= at], then
+    resumed live from the last boundary — under [resume_policy] if
+    given (e.g. a different thread count; determinism says the digest
+    must not care). [at] past the end of the run degrades to a
+    complete run plus a no-op resume. *)
+
+val swap_pending_ids :
+  int -> int -> 'item Galois.Det_sched.boundary -> 'item Galois.Det_sched.boundary
+(** The negative-control perturbation: a copy of the boundary with
+    pending-deque entries [i] and [j] (ids and items) swapped. The task
+    set is preserved but the window draw order is not, so a resume from
+    the perturbed boundary diverges at the first round after it. *)

@@ -118,4 +118,65 @@ let test_fixture () =
       expected got
   end
 
-let suite = [ Alcotest.test_case "pre-rework schedule digests" `Slow test_fixture ]
+(* Checkpoint/resume against the same table: crash each fixture case at
+   its midpoint round, resume live, and require the *pinned* digest —
+   resume equivalence anchored to a cross-version constant, not merely
+   to this build's own uninterrupted run. *)
+let pinned_default name =
+  List.find_map
+    (fun line ->
+      match String.split_on_char '|' line with
+      | [ n; "default"; sched; _ ] when n = name -> D.of_hex sched
+      | _ -> None)
+    expected
+
+let test_resume_reproduces_pinned () =
+  List.iter
+    (fun (Detcheck.Replay_cases.Case c) ->
+      let pinned =
+        match pinned_default c.name with
+        | Some d -> d
+        | None -> Alcotest.failf "no pinned default entry for %s" c.name
+      in
+      let full_run, _ = c.fresh ~static_id:false () in
+      let full =
+        full_run |> Galois.Run.policy (Galois.Policy.det 2) |> Galois.Run.exec
+      in
+      if not (D.equal pinned full.Galois.Run.stats.digest) then
+        Alcotest.failf "%s: uninterrupted run missed the pinned digest" c.name;
+      let at = max 1 (full.Galois.Run.stats.rounds / 2) in
+      let crash_run, _ = c.fresh ~static_id:false () in
+      let crash_run = crash_run |> Galois.Run.policy (Galois.Policy.det 2) in
+      let last = ref None in
+      let _ =
+        crash_run
+        |> Galois.Run.checkpoint_every 1
+        |> Galois.Run.on_checkpoint (fun snap ->
+               last := Some snap.Galois.Snapshot.boundary)
+        |> Galois.Run.stop_after at
+        |> Galois.Run.exec
+      in
+      match !last with
+      | None -> Alcotest.failf "%s: no boundary captured by round %d" c.name at
+      | Some b ->
+          let resumed = crash_run |> Galois.Run.resume b |> Galois.Run.exec in
+          if not (D.equal pinned resumed.Galois.Run.stats.digest) then
+            Alcotest.failf "%s: resume from round %d missed the pinned digest"
+              c.name b.Galois.Det_sched.b_rounds)
+    [
+      Detcheck.Replay_cases.gen ~seed:1;
+      Detcheck.Replay_cases.gen ~seed:2;
+      Detcheck.Replay_cases.gen ~seed:3;
+      Detcheck.Replay_cases.gen ~seed:42;
+      Detcheck.Replay_cases.bfs ~n:300 ~seed:7;
+      Detcheck.Replay_cases.sssp ~n:300 ~seed:7;
+      Detcheck.Replay_cases.boruvka ~n:300 ~seed:7;
+      Detcheck.Replay_cases.dmr ~points:90 ~seed:7;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "pre-rework schedule digests" `Slow test_fixture;
+    Alcotest.test_case "midpoint resume hits pinned digests" `Slow
+      test_resume_reproduces_pinned;
+  ]

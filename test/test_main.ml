@@ -11,6 +11,7 @@ let () =
       ("policy", Test_policy.suite);
       ("determinism", Test_determinism.suite);
       ("detcheck", Test_detcheck.suite);
+      ("replay", Test_replay.suite);
       ("digest-fixture", Test_digest_fixture.suite);
       ("det-sched-props", Test_det_sched_props.suite);
       ("core-edge", Test_core_edge.suite);

@@ -35,6 +35,8 @@ let exemplars =
         spins = 9;
         parks = 1;
       };
+    Obs.Checkpoint_taken { round = 8; digest = "04aeef9adef32405" };
+    Obs.Resumed { round = 8; digest = "04aeef9adef32405" };
     Obs.Run_end { commits = 1000; rounds = 19; generations = 3 };
   ]
 

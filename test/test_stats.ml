@@ -144,6 +144,86 @@ let test_add_chains_digests () =
      digest. *)
   check_bool "absent passthrough" true (D.equal (Stats.add a (Stats.zero 1)).digest a.digest)
 
+(* --- digest edge cases: empty runs, single rounds, text round-trips -- *)
+
+let det_run ?(record = false) items =
+  Galois.Runtime.for_each ~policy:(Galois.Policy.det 2) ~record
+    ~operator:(fun ctx _ -> Galois.Context.failsafe ctx)
+    items
+
+let test_of_hex_roundtrip () =
+  (* Every digest round-trips through its hex rendering, including the
+     absent digest's "-". *)
+  List.iter
+    (fun d ->
+      match D.of_hex (D.to_hex d) with
+      | Some got -> check_bool "round-trips" true (D.equal d got)
+      | None -> Alcotest.failf "of_hex rejected %s" (D.to_hex d))
+    [ D.seed; D.absent; D.fold_int D.seed 0; D.fold_int D.seed max_int;
+      D.fold_string D.seed "x" ];
+  (* The full unsigned 64-bit range parses (high-bit digests are
+     negative as Int64). *)
+  check_bool "high bit" true (Option.is_some (D.of_hex "ffffffffffffffff"));
+  List.iter
+    (fun s -> check_bool ("rejects " ^ s) true (D.of_hex s = None))
+    [ ""; "123"; "cbf29ce48422232"; "cbf29ce4842223255"; "xbf29ce484222325";
+      "CBF29CE484222325"; "0x29ce484222325aa" ]
+
+let test_empty_run_digest () =
+  (* Zero tasks: no generation is ever formed, so the digest is the bare
+     FNV seed (present — a det run happened — but foldless), and the
+     round/generation counters stay zero. *)
+  let r = det_run ~record:true [||] in
+  check_bool "digest is seed" true (D.equal D.seed r.stats.digest);
+  check_bool "present" false (D.is_absent r.stats.digest);
+  check_int "rounds" 0 r.stats.rounds;
+  check_int "generations" 0 r.stats.generations;
+  (* The recorded (empty) schedule digests consistently. *)
+  match r.schedule with
+  | Some s ->
+      check_bool "empty schedule digest stable" true
+        (D.equal (Galois.Schedule.digest s) (Galois.Schedule.digest s))
+  | None -> Alcotest.fail "no schedule recorded"
+
+let test_single_round_digest () =
+  (* One conflict-free task: one generation of length 1, one round of
+     window 1 committing id 1 (ids are 1-based). The digest is exactly
+     that fold sequence — pinning the fold order (gen_len, then w_use,
+     committed ids, n_committed). *)
+  let r = det_run ~record:true [| 42 |] in
+  check_int "rounds" 1 r.stats.rounds;
+  check_int "generations" 1 r.stats.generations;
+  let by_hand =
+    D.fold_int (D.fold_int (D.fold_int (D.fold_int D.seed 1) 1) 1) 1
+  in
+  check_bool "hand-folded digest" true (D.equal by_hand r.stats.digest);
+  (* And the structural schedule digest distinguishes it from empty. *)
+  match (r.schedule, (det_run ~record:true [||]).schedule) with
+  | Some one, Some zero ->
+      check_bool "schedule digest distinguishes" false
+        (D.equal (Galois.Schedule.digest one) (Galois.Schedule.digest zero))
+  | _ -> Alcotest.fail "no schedule recorded"
+
+let test_digest_survives_pp_roundtrip () =
+  (* Stats.pp prints the digest in hex; extracting and re-parsing it
+     must give back the identical digest — the contract behind pinned
+     fixtures and the galois-run schedule dumps. *)
+  let r = det_run (Array.init 50 Fun.id) in
+  let rendered = Format.asprintf "%a" Stats.pp r.stats in
+  let hex =
+    let rec find i =
+      if i + 7 > String.length rendered then None
+      else if String.sub rendered i 7 = "digest=" then Some (i + 7)
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some i -> String.sub rendered i 16
+    | None -> Alcotest.fail "Stats.pp prints no digest"
+  in
+  match D.of_hex hex with
+  | Some d -> check_bool "pp round-trips" true (D.equal d r.stats.digest)
+  | None -> Alcotest.failf "unparseable digest %S in %S" hex rendered
+
 let suite =
   [
     Alcotest.test_case "zero is the empty report" `Quick test_zero_is_empty;
@@ -156,4 +236,9 @@ let suite =
     Alcotest.test_case "phases add and merge" `Quick test_phases_add_and_merge;
     Alcotest.test_case "trace digest monoid" `Quick test_digest_monoid;
     Alcotest.test_case "add chains digests" `Quick test_add_chains_digests;
+    Alcotest.test_case "of_hex round-trips" `Quick test_of_hex_roundtrip;
+    Alcotest.test_case "empty run digest" `Quick test_empty_run_digest;
+    Alcotest.test_case "single-round digest by hand" `Quick test_single_round_digest;
+    Alcotest.test_case "digest survives pp round-trip" `Quick
+      test_digest_survives_pp_roundtrip;
   ]
