@@ -23,7 +23,8 @@
      bench_apps --compare DIR            also diff against records in DIR
      bench_apps --scale tiny|small       input sizes (default small)
      bench_apps --threads T              timing-pass threads (default 4)
-     bench_apps --apps bfs,sssp,...      subset (default all four)
+     bench_apps --apps bfs,sssp,...      subset (default the four apps
+                                         plus the serve service case)
      bench_apps --smoke                  tiny inputs, then re-load and
                                          validate every emitted file
                                          (JSON parses, phases sum to
@@ -34,9 +35,11 @@ type app_case = {
   name : string;
   size : int;
   (* Build the input (unmeasured) and return the closure that runs the
-     Galois program under a policy. A fresh prepare per pass: dmr
-     mutates its mesh in place. *)
-  prepare : seed:int -> size:int -> (Galois.Policy.t -> Galois.Runtime.report);
+     Galois program under a policy on a shared pool. A fresh prepare per
+     pass: dmr mutates its mesh in place. *)
+  prepare :
+    seed:int -> size:int ->
+    (pool:Galois.Pool.t -> Galois.Policy.t -> Galois.Runtime.report);
 }
 
 let seed = 2014
@@ -50,7 +53,7 @@ let cases ~tiny =
       prepare =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
-          fun policy -> snd (Apps.Bfs.galois ~policy g ~source:0));
+          fun ~pool policy -> snd (Apps.Bfs.galois ~pool ~policy g ~source:0));
     };
     {
       name = "sssp";
@@ -59,7 +62,7 @@ let cases ~tiny =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
           let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
-          fun policy -> snd (Apps.Sssp.galois ~policy g w ~source:0));
+          fun ~pool policy -> snd (Apps.Sssp.galois ~pool ~policy g w ~source:0));
     };
     {
       name = "boruvka";
@@ -68,7 +71,7 @@ let cases ~tiny =
         (fun ~seed ~size ->
           let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:4 ()) in
           let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
-          fun policy -> snd (Apps.Boruvka.galois ~policy g w));
+          fun ~pool policy -> snd (Apps.Boruvka.galois ~pool ~policy g w));
     };
     {
       name = "dmr";
@@ -77,26 +80,28 @@ let cases ~tiny =
         (fun ~seed ~size ->
           let pts = Geometry.Point.random_unit_square ~seed size in
           let mesh = Apps.Dt.serial pts in
-          fun policy -> Apps.Dmr.galois ~policy mesh);
+          fun ~pool policy -> Apps.Dmr.galois ~pool ~policy mesh);
     };
   ]
 
-let bench_case ~threads { name; size; prepare } =
+let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
   (* Each app run gets its own lid namespace, so location ids in debug
      output are reproducible run-to-run. *)
   Galois.Lock.reset_lids ();
-  (* Timing pass. *)
+  (* Timing pass on the shared pool: the measured interval excludes
+     domain spawn/teardown, which the persistent pools pay once for the
+     whole bench session. *)
   let exec = prepare ~seed ~size in
   let timing_policy = Galois.Policy.det threads in
   let t0 = Galois.Clock.now_s () in
-  let timing = exec timing_policy in
+  let timing = exec ~pool:timing_pool timing_policy in
   let wall_s = Galois.Clock.elapsed_s t0 in
   (* Allocation pass: single domain, GC deltas around the run only. *)
   Galois.Lock.reset_lids ();
   let exec1 = prepare ~seed ~size in
   Gc.full_major ();
   let g0 = Gc.quick_stat () in
-  let alloc = exec1 (Galois.Policy.det 1) in
+  let alloc = exec1 ~pool:alloc_pool (Galois.Policy.det 1) in
   let g1 = Gc.quick_stat () in
   let stats = timing.Galois.Runtime.stats in
   let astats = alloc.Galois.Runtime.stats in
@@ -138,7 +143,97 @@ let bench_case ~threads { name; size; prepare } =
         ~commits:stats.commits;
     spins = stats.spins;
     parks = stats.parks;
+    queries_per_s = 0.0;
+    p99_latency_s = 0.0;
     digest = Galois.Trace_digest.to_hex stats.digest;
+  }
+
+(* The service case: one persistent server per pass, a mixed bfs/sssp/cc
+   workload submitted in fixed-size arrival batches. The timing pass
+   (det:T on the shared timing pool) provides wall time, throughput and
+   the p99 submit-to-completion latency; the allocation pass replays the
+   identical submission sequence on the det:1 pool. The two service
+   digests must agree — the same free determinism assertion the per-app
+   passes make, lifted to the whole response stream. *)
+let bench_serve ~threads ~timing_pool ~alloc_pool ~nodes ~requests ~batch =
+  let run_pass ~pool ~threads =
+    Galois.Lock.reset_lids ();
+    let catalog = Service.Catalog.synthetic ~seed ~nodes () in
+    let queries = Detcheck.Service_case.queries ~seed ~nodes ~count:requests in
+    let server = Service.Server.create ~threads ~catalog pool in
+    let t0 = Galois.Clock.now_s () in
+    List.iteri
+      (fun i q ->
+        (match Service.Server.submit server q with
+        | `Accepted _ -> ()
+        | `Rejected id -> Fmt.failwith "serve: job %d rejected" id);
+        if (i + 1) mod batch = 0 then ignore (Service.Server.drain server))
+      queries;
+    ignore (Service.Server.drain server);
+    let wall_s = Galois.Clock.elapsed_s t0 in
+    (server, wall_s)
+  in
+  let timing, wall_s = run_pass ~pool:timing_pool ~threads in
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let alloc, _ = run_pass ~pool:alloc_pool ~threads:1 in
+  let g1 = Gc.quick_stat () in
+  if
+    not
+      (Galois.Trace_digest.equal (Service.Server.digest timing)
+         (Service.Server.digest alloc))
+  then
+    Fmt.failwith "serve: det:%d and det:1 disagree on the service digest (%a vs %a)"
+      threads Galois.Trace_digest.pp (Service.Server.digest timing)
+      Galois.Trace_digest.pp (Service.Server.digest alloc);
+  let sum f =
+    List.fold_left
+      (fun acc (r : Service.Server.response) ->
+        match r.outcome with
+        | Service.Server.Done { commits; rounds; _ } -> acc + f commits rounds
+        | _ -> acc)
+      0
+      (Service.Server.responses timing)
+  in
+  let commits = sum (fun c _ -> c) in
+  let rounds = sum (fun _ r -> r) in
+  let stats = Service.Server.stats timing in
+  if stats.failed > 0 || stats.rejected > 0 then
+    Fmt.failwith "serve: %d failed, %d rejected responses in a clean workload"
+      stats.failed stats.rejected;
+  let minor_words = g1.Gc.minor_words -. g0.Gc.minor_words in
+  {
+    Analysis.Bench_record.app = "serve";
+    policy = Galois.Policy.to_string (Galois.Policy.det threads);
+    size = nodes;
+    seed;
+    wall_s;
+    (* The server's wall time spans many runs plus admission bookkeeping;
+       the per-phase split is not meaningful at this level, so everything
+       is booked under other_s. *)
+    inspect_s = 0.0;
+    select_s = 0.0;
+    other_s = wall_s;
+    commits;
+    aborts = 0;
+    rounds;
+    generations = 0;
+    work_units = 0;
+    minor_words;
+    promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    minor_words_per_commit =
+      Analysis.Bench_record.minor_words_per_commit ~minor_words ~commits;
+    rounds_per_s = Analysis.Bench_record.rounds_per_s ~rounds ~wall_s;
+    atomics_per_commit = 0.0;
+    spins = 0;
+    parks = 0;
+    queries_per_s =
+      (if wall_s <= 0.0 then 0.0 else float_of_int stats.completed /. wall_s);
+    p99_latency_s = Service.Server.percentile_latency_s timing 99.0;
+    digest = Galois.Trace_digest.to_hex (Service.Server.digest timing);
   }
 
 let record_path dir app = Filename.concat dir (Printf.sprintf "BENCH_%s.json" app)
@@ -165,6 +260,12 @@ let validate_file path =
       then Error (Printf.sprintf "%s: rounds_per_s inconsistent with rounds/wall_s" path)
       else if r.atomics_per_commit < 0.0 then
         Error (Printf.sprintf "%s: negative atomics_per_commit" path)
+      else if r.queries_per_s < 0.0 || r.p99_latency_s < 0.0 then
+        Error
+          (Printf.sprintf "%s: negative service metrics (qps=%g p99=%g)" path
+             r.queries_per_s r.p99_latency_s)
+      else if r.app = "serve" && r.queries_per_s <= 0.0 then
+        Error (Printf.sprintf "%s: serve record without throughput" path)
       else Ok r
 
 let compare_against ~dir records =
@@ -198,7 +299,7 @@ let compare_against ~dir records =
 
 let () =
   let out = ref "." and scale = ref "small" and threads = ref 4 in
-  let apps = ref [ "bfs"; "sssp"; "boruvka"; "dmr" ] in
+  let apps = ref [ "bfs"; "sssp"; "boruvka"; "dmr"; "serve" ] in
   let compare_dir = ref None and smoke = ref false in
   let rec parse = function
     | [] -> ()
@@ -234,24 +335,33 @@ let () =
   | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   | Unix.Unix_error (e, _, _) ->
       Fmt.failwith "bench_apps: cannot create %s: %s" !out (Unix.error_message e));
-  let selected =
-    List.map
-      (fun name ->
-        match List.find_opt (fun c -> c.name = name) (cases ~tiny) with
-        | Some c -> c
-        | None -> Fmt.failwith "bench_apps: unknown app %S" name)
-      !apps
+  let serve_nodes = if tiny then 400 else 2_000 in
+  let serve_requests = if tiny then 60 else 200 in
+  let serve_batch = if tiny then 16 else 32 in
+  let bench name =
+    if name = "serve" then
+      bench_serve ~threads:!threads ~nodes:serve_nodes ~requests:serve_requests
+        ~batch:serve_batch
+    else
+      match List.find_opt (fun c -> c.name = name) (cases ~tiny) with
+      | Some c -> bench_case ~threads:!threads c
+      | None -> fun ~timing_pool:_ ~alloc_pool:_ -> Fmt.failwith "bench_apps: unknown app %S" name
   in
+  (* Two persistent pools shared by every case and both passes: det:T
+     timing runs and det:1 allocation runs. Spawned once here, so no
+     per-repetition domain spawn/teardown pollutes the timings. *)
   let records =
-    List.map
-      (fun c ->
-        Fmt.pr "bench %-8s n=%-6d det:%d ... @?" c.name c.size !threads;
-        let r = bench_case ~threads:!threads c in
-        Fmt.pr "wall=%.4fs commits=%d rounds=%d alloc/commit=%.1f@." r.wall_s
-          r.commits r.rounds r.minor_words_per_commit;
-        Analysis.Bench_record.save (record_path !out c.name) r;
-        r)
-      selected
+    Galois.Pool.with_pool ~domains:!threads (fun timing_pool ->
+        Galois.Pool.with_pool ~domains:1 (fun alloc_pool ->
+            List.map
+              (fun name ->
+                Fmt.pr "bench %-8s det:%d ... @?" name !threads;
+                let r = bench name ~timing_pool ~alloc_pool in
+                Fmt.pr "wall=%.4fs commits=%d rounds=%d alloc/commit=%.1f@."
+                  r.wall_s r.commits r.rounds r.minor_words_per_commit;
+                Analysis.Bench_record.save (record_path !out r.app) r;
+                r)
+              !apps))
   in
   let failures = ref 0 in
   if !smoke then

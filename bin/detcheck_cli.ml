@@ -139,7 +139,7 @@ let run_lockstep ~cases ~seed ~apps ~threads ~size ~points ~every ~verbose =
   end
   else `Error (false, Printf.sprintf "detcheck --dmr-style: %d failure(s)" !failures)
 
-let run ~cases ~seed ~apps ~threads ~size ~points ~verbose =
+let run ~cases ~seed ~apps ~threads ~size ~points ~service ~verbose =
   let threads = if threads = [] then Detcheck.default_threads else threads in
   let failures = ref 0 in
   let total_runs = ref 0 in
@@ -174,7 +174,24 @@ let run ~cases ~seed ~apps ~threads ~size ~points ~verbose =
   for i = 0 to cases - 1 do
     audit (Detcheck.Gen.case ~seed:(seed + i))
   done;
+  (* Service lattice: byte-compare the response stream of a mixed query
+     batch across pool sizes and admission interleavings. *)
+  if service > 0 then begin
+    let report =
+      Detcheck.Service_case.check ~pool_sizes:threads ~count:service ~nodes:size
+        ~seed ()
+    in
+    total_runs := !total_runs + report.Detcheck.runs;
+    if Detcheck.ok report then
+      Fmt.pr "ok    %s (%d sessions byte-identical)@." report.Detcheck.case_name
+        report.Detcheck.runs
+    else begin
+      incr failures;
+      Fmt.pr "FAIL  %a@." Detcheck.pp_report report
+    end
+  end;
   (* Positive control: the digests must be able to diverge at all. *)
+  let skip_controls = cases = 0 && apps = [] in
   let control policy =
     let name = Galois.Policy.to_string policy in
     if
@@ -187,8 +204,10 @@ let run ~cases ~seed ~apps ~threads ~size ~points ~verbose =
       Fmt.pr "FAIL  positive control: seed perturbation NOT seen under %s@." name
     end
   in
-  control (Galois.Policy.det 2);
-  control (Galois.Policy.nondet 2);
+  if not skip_controls then begin
+    control (Galois.Policy.det 2);
+    control (Galois.Policy.nondet 2)
+  end;
   if !failures = 0 then begin
     Fmt.pr "detcheck: all passed (%d lattice runs)@." !total_runs;
     `Ok ()
@@ -234,6 +253,15 @@ let points_arg =
   let doc = "Point count for the dmr benchmark." in
   Arg.(value & opt int 110 & info [ "points" ] ~docv:"N" ~doc)
 
+let service_arg =
+  let doc =
+    "Also audit the service layer with a mixed batch of $(docv) bfs/sssp/cc queries: \
+     responses, per-job event streams and the service digest must be byte-identical \
+     across the $(b,--threads) pool sizes and across two admission interleavings. \
+     0 skips the service lattice."
+  in
+  Arg.(value & opt int 0 & info [ "service" ] ~docv:"N" ~doc)
+
 let verbose_arg =
   let doc = "Print full per-case reports." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -272,13 +300,13 @@ let cmd =
   let term =
     Term.(
       ret
-        (const (fun cases seed apps threads size points verbose dmr_style every ->
+        (const (fun cases seed apps threads size points service verbose dmr_style every ->
              if every < 1 then `Error (false, "--every must be >= 1")
              else if dmr_style then
                run_lockstep ~cases ~seed ~apps ~threads ~size ~points ~every ~verbose
-             else run ~cases ~seed ~apps ~threads ~size ~points ~verbose)
+             else run ~cases ~seed ~apps ~threads ~size ~points ~service ~verbose)
         $ cases_arg $ seed_arg $ apps_arg $ threads_arg $ size_arg $ points_arg
-        $ verbose_arg $ dmr_style_arg $ every_arg))
+        $ service_arg $ verbose_arg $ dmr_style_arg $ every_arg))
   in
   Cmd.v (Cmd.info "detcheck" ~version:"1.0.0" ~doc ~man) term
 

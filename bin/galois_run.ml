@@ -117,7 +117,7 @@ let run_replay ~app ~policy ~size ~seed ~sink r =
               let report =
                 run
                 |> Galois.Run.policy policy
-                |> Galois.Run.opt Galois.Run.sink sink
+                |> Galois.Run.sink sink
                 |> Galois.Run.opt Galois.Run.checkpoint_to r.checkpoint
                 |> Galois.Run.opt Galois.Run.checkpoint_every r.every
                 |> Galois.Run.opt Galois.Run.resume_from r.resume
@@ -144,7 +144,7 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
   match app with
   | "bfs" ->
       let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
-      let dist, report = Apps.Bfs.galois ?sink ~policy g ~source:0 in
+      let dist, report = Apps.Bfs.galois ~sink ~policy g ~source:0 in
       pp_stats "bfs" report.stats;
       let reached = Array.fold_left (fun a d -> if d <> Apps.Bfs.unreached then a + 1 else a) 0 dist in
       Fmt.pr "  reached %d of %d nodes; valid=%b@." reached size
@@ -156,14 +156,14 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
       `Ok ()
   | "mis" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:5 ()) in
-      let in_mis, report = Apps.Mis.galois ?sink ~policy g in
+      let in_mis, report = Apps.Mis.galois ~sink ~policy g in
       pp_stats "mis" report.stats;
       let members = Array.fold_left (fun a b -> if b then a + 1 else a) 0 in_mis in
       Fmt.pr "  |MIS| = %d; valid=%b@." members (Apps.Mis.is_maximal_independent g in_mis);
       `Ok ()
   | "dt" ->
       let pts = Geometry.Point.random_unit_square ~seed size in
-      let mesh, report = Apps.Dt.galois ?sink ~policy pts in
+      let mesh, report = Apps.Dt.galois ~sink ~policy pts in
       pp_stats "dt" report.stats;
       Fmt.pr "  triangles=%d, delaunay violations=%d@." (Mesh.triangle_count mesh)
         (Mesh.delaunay_violations mesh);
@@ -172,7 +172,7 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
       let pts = Geometry.Point.random_unit_square ~seed size in
       let mesh = Apps.Dt.serial pts in
       let before = Mesh.triangle_count mesh in
-      let report = Apps.Dmr.galois ?sink ~policy mesh in
+      let report = Apps.Dmr.galois ~sink ~policy mesh in
       pp_stats "dmr" report.stats;
       Fmt.pr "  triangles %d -> %d; refined=%b@." before (Mesh.triangle_count mesh)
         (Apps.Dmr.refined Apps.Dmr.default_config mesh);
@@ -180,7 +180,7 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
   | "pfp" ->
       let g, caps, source, sink_node = Graphlib.Generators.flow_network ~seed ~n:size ~k:4 () in
       let net = Apps.Flow_network.of_graph g caps ~source ~sink:sink_node in
-      let result = Apps.Pfp.galois ?sink ~policy net in
+      let result = Apps.Pfp.galois ~sink ~policy net in
       pp_stats "pfp" result.stats;
       let ok, _ = Apps.Flow_network.check_flow net in
       Fmt.pr "  max flow=%d; epochs=%d; global relabels=%d; conservation=%b@."
@@ -188,7 +188,7 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
       `Ok ()
   | "cc" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:5 ()) in
-      let label, report = Apps.Cc.galois ?sink ~policy g in
+      let label, report = Apps.Cc.galois ~sink ~policy g in
       pp_stats "cc" report.stats;
       Fmt.pr "  %d components; valid=%b@." (Apps.Cc.count_components label)
         (Apps.Cc.validate g label);
@@ -196,7 +196,7 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
   | "sssp" ->
       let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
       let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
-      let dist, report = Apps.Sssp.galois ?sink ~policy g w ~source:0 in
+      let dist, report = Apps.Sssp.galois ~sink ~policy g w ~source:0 in
       pp_stats "sssp" report.stats;
       let reached =
         Array.fold_left (fun a d -> if d <> Apps.Sssp.unreached then a + 1 else a) 0 dist
@@ -206,7 +206,7 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
   | "mst" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:4 ()) in
       let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
-      let forest, report = Apps.Boruvka.galois ?sink ~policy g w in
+      let forest, report = Apps.Boruvka.galois ~sink ~policy g w in
       pp_stats "mst (boruvka)" report.stats;
       Fmt.pr "  forest: %d edges, total weight %d; valid=%b@."
         (List.length forest.Apps.Boruvka.parent_edge) forest.Apps.Boruvka.total_weight
@@ -214,13 +214,13 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
       `Ok ()
   | "triangles" ->
       let g = Graphlib.Csr.symmetrize (Graphlib.Generators.rmat ~seed ~scale:11 ~edge_factor:8 ()) in
-      let total, report = Apps.Triangles.galois ?sink ~policy g in
+      let total, report = Apps.Triangles.galois ~sink ~policy g in
       pp_stats "triangles" report.stats;
       Fmt.pr "  %d triangles@." total;
       `Ok ()
   | "pagerank" ->
       let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
-      let ranks, report = Apps.Pagerank.galois ?sink ~policy g in
+      let ranks, report = Apps.Pagerank.galois ~sink ~policy g in
       pp_stats "pagerank" report.stats;
       let reference = Apps.Pagerank.serial g in
       Fmt.pr "  max deviation from power iteration: %.5f@."
@@ -334,11 +334,14 @@ let cmd =
       if replay_requested r then run_replay ~app ~policy ~size ~seed ~sink r
       else run_app ~app ~policy ~size ~seed ~verbose ~sink
     in
-    match trace with
-    | None -> dispatch None
-    | Some path ->
-        let sink = Obs.Jsonl.file path in
-        Fun.protect ~finally:(fun () -> Obs.close sink) (fun () -> dispatch (Some sink))
+    (* The sink is assembled with the combinators: [of_list] collapses
+       to [Obs.null] when no trace was requested, and teeing/closing a
+       null sink is free, so dispatch never branches on an option. *)
+    let sink =
+      Obs.Sink.of_list
+        (match trace with None -> [] | Some path -> [ Obs.Jsonl.file path ])
+    in
+    Fun.protect ~finally:(fun () -> Obs.close sink) (fun () -> dispatch sink)
   in
   let term =
     Term.(

@@ -38,6 +38,8 @@ type t = {
   atomics_per_commit : float;  (* atomic mark updates / commits, timing run *)
   spins : int;  (* pool wakeups served by the spin fast path, timing run *)
   parks : int;  (* pool waits that fell back to the condvar, timing run *)
+  queries_per_s : float;  (* service throughput; 0 for single-run apps *)
+  p99_latency_s : float;  (* service p99 submit-to-done; 0 for single-run apps *)
   digest : string;  (* schedule digest (hex), "-" when absent *)
 }
 
@@ -88,6 +90,8 @@ let fields t =
     ("atomics_per_commit", F t.atomics_per_commit);
     ("spins", I t.spins);
     ("parks", I t.parks);
+    ("queries_per_s", F t.queries_per_s);
+    ("p99_latency_s", F t.p99_latency_s);
     ("digest", S t.digest);
   ]
 
@@ -290,6 +294,8 @@ let of_json text =
         atomics_per_commit = get_float fs "atomics_per_commit";
         spins = get_int fs "spins";
         parks = get_int fs "parks";
+        queries_per_s = get_float fs "queries_per_s";
+        p99_latency_s = get_float fs "p99_latency_s";
         digest = get_string fs "digest";
       }
     in
@@ -343,6 +349,8 @@ let compare_to ~baseline current =
        machine-load-sensitive). *)
     d "rounds_per_s" baseline.rounds_per_s current.rounds_per_s;
     d "atomics_per_commit" baseline.atomics_per_commit current.atomics_per_commit;
+    d "queries_per_s" baseline.queries_per_s current.queries_per_s;
+    d "p99_latency_s" baseline.p99_latency_s current.p99_latency_s;
   ]
 
 let pp_delta ppf d =

@@ -36,6 +36,12 @@ type t = {
           protocol cuts *)
   spins : int;  (** pool wakeups served by the spin fast path, timing run *)
   parks : int;  (** pool waits that fell back to the condvar, timing run *)
+  queries_per_s : float;
+      (** service throughput (completed queries / wall time) of the
+          [serve] case; [0.0] for the single-run apps *)
+  p99_latency_s : float;
+      (** nearest-rank p99 submit-to-completion latency of the [serve]
+          case; [0.0] for the single-run apps *)
   digest : string;  (** schedule digest (hex); ["-"] when absent *)
 }
 
@@ -74,7 +80,8 @@ type delta = {
 val compare_to : baseline:t -> t -> delta list
 (** Deltas for the tracked metrics (wall time, phase times, minor
     allocation, minor words per committed task, rounds per second,
-    atomics per commit), in that order. The last two are report-only:
-    no regression gate keys off them. *)
+    atomics per commit, queries per second, p99 latency), in that
+    order. Everything after minor words per commit is report-only: no
+    regression gate keys off it. *)
 
 val pp_delta : Format.formatter -> delta -> unit

@@ -17,7 +17,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Graphlib.Csr.t ->
   int array ->
   forest * Galois.Runtime.report

@@ -5,7 +5,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Graphlib.Csr.t ->
   int array * Galois.Runtime.report
 (** Minimum-label propagation. The result — minimum node id per

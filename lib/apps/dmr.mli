@@ -33,7 +33,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Mesh.t ->
   Galois.Runtime.report
 (** Refine all bad triangles in place under any policy. *)

@@ -8,7 +8,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Geometry.Point.t array ->
   Mesh.t * Galois.Runtime.report
 (** Triangulate the points under any policy. The synthetic bounding

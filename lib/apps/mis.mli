@@ -4,7 +4,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Graphlib.Csr.t ->
   bool array * Galois.Runtime.report
 (** Lonestar greedy MIS under any policy. Result depends on the schedule

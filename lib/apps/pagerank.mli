@@ -15,7 +15,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Graphlib.Csr.t ->
   float array * Galois.Runtime.report
 (** Ranks (converted to floats). Ranks are un-normalized (PageRank's

@@ -18,7 +18,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Flow_network.t ->
   result
 (** Epoch-structured Galois preflow-push: active nodes are unordered

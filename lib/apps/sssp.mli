@@ -15,7 +15,7 @@ val galois :
   ?record:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Galois.Pool.t ->
   Graphlib.Csr.t ->
   int array ->
   source:int ->

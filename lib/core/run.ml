@@ -31,7 +31,7 @@ type ('item, 'state) t = {
   operator : ('item, 'state) operator;
   items : 'item array;
   policy_ : Policy.t;
-  pool_ : Parallel.Domain_pool.t option;
+  pool_ : Pool.t option;
   record_ : bool;
   static_id_ : ('item -> int) option;
   sink_ : Obs.sink;
@@ -69,8 +69,7 @@ let pool p t = { t with pool_ = Some p }
 let record t = { t with record_ = true }
 let static_id f t = { t with static_id_ = Some f }
 
-let sink s t =
-  { t with sink_ = (if t.sink_ == Obs.null then s else Obs.tee t.sink_ s) }
+let sink s t = { t with sink_ = Obs.Sink.tee t.sink_ s }
 
 let trace t = { t with capture_ = true }
 
@@ -163,21 +162,21 @@ let checkpoint_hook t =
 let with_pool ?pool threads f =
   match pool with
   | Some p ->
-      if Parallel.Domain_pool.size p < threads then
-        invalid_arg "Runtime.for_each: pool smaller than policy thread count";
-      f p
+      (* [domain_pool] is the use-after-shutdown gate. *)
+      let dp = Pool.domain_pool p in
+      if Parallel.Domain_pool.size dp < threads then
+        invalid_arg "Galois.Run: pool smaller than policy thread count";
+      f dp
   | None -> Parallel.Domain_pool.with_pool threads f
 
 let exec t =
   let memory = if t.capture_ then Some (Obs.Memory.create ()) else None in
   let sink =
     match memory with
-    | Some m ->
-        if t.sink_ == Obs.null then Obs.Memory.sink m
-        else Obs.tee t.sink_ (Obs.Memory.sink m)
+    | Some m -> Obs.Sink.tee t.sink_ (Obs.Memory.sink m)
     | None -> t.sink_
   in
-  let tracing = sink != Obs.null in
+  let tracing = not (Obs.Sink.is_null sink) in
   let emit event =
     if tracing then sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event }
   in

@@ -32,10 +32,11 @@ val make : operator:('item, 'state) operator -> 'item array -> ('item, 'state) t
 
 val policy : Policy.t -> ('item, 'state) t -> ('item, 'state) t
 
-val pool : Parallel.Domain_pool.t -> ('item, 'state) t -> ('item, 'state) t
-(** Reuse an existing domain pool (must be at least as large as the
+val pool : Pool.t -> ('item, 'state) t -> ('item, 'state) t
+(** Reuse a long-lived {!Pool.t} (must be at least as large as the
     policy's thread count — {!exec} raises [Invalid_argument]
-    otherwise); without one, {!exec} creates a temporary pool. *)
+    otherwise, and also when the pool is already shut down); without
+    one, {!exec} creates a temporary pool per run. *)
 
 val record : ('item, 'state) t -> ('item, 'state) t
 (** Capture a {!Schedule.t} for the simulators ([report.schedule]). *)

@@ -31,13 +31,14 @@ type report = Run.report = {
 
 val for_each :
   ?policy:Policy.t ->
-  ?pool:Parallel.Domain_pool.t ->
+  ?pool:Pool.t ->
   ?record:bool ->
   ?static_id:('item -> int) ->
   ?sink:Obs.sink ->
   operator:('item, 'state) operator ->
   'item array ->
   report
+[@@deprecated "use the Galois.Run builder (Run.make ... |> Run.exec)"]
 (** Run all tasks (and the tasks they create) to completion. Equivalent
     to [Run.make ~operator items |> Run.policy ... |> Run.exec].
 

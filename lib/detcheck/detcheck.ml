@@ -57,7 +57,7 @@ type case = {
          collapsing is a no-op) *)
   run :
     policy:Galois.Policy.t ->
-    pool:Parallel.Domain_pool.t ->
+    pool:Galois.Pool.t ->
     static_id:bool ->
     run_result;
 }
@@ -138,7 +138,7 @@ let check_invariance ?(threads = default_threads) ?configs case =
     match configs with Some c -> c | None -> lattice ~static_id_capable:case.static_id_capable
   in
   let tmax = List.fold_left max 1 threads in
-  Parallel.Domain_pool.with_pool tmax (fun pool ->
+  Galois.Pool.with_pool ~domains:tmax (fun pool ->
       let runs = ref 0 and divergences = ref [] in
       let diverged ~config ~threads ~quantity ~expected ~got =
         divergences :=
@@ -190,7 +190,7 @@ let check_invariance ?(threads = default_threads) ?configs case =
    digests under [policy]; if they ever agree, the digest pipeline has
    collapsed (and every invariance "pass" above is meaningless). *)
 let seeds_distinguished ?(threads = 2) ~gen ~seed policy =
-  Parallel.Domain_pool.with_pool threads (fun pool ->
+  Galois.Pool.with_pool ~domains:threads (fun pool ->
       let digest s = ((gen s).run ~policy ~pool ~static_id:false).canonical_digest in
       not (D.equal (digest seed) (digest (seed + 1))))
 
@@ -611,4 +611,111 @@ module Replay_cases = struct
                     List.fold_left (fun d (x, y) -> D.fold_float (D.fold_float d x) y) d tri)
                   D.seed (Apps.Dt.canonical mesh) ));
       }
+end
+
+(* ------------------------------------------------------------------ *)
+(* The service lattice                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Determinism at the service boundary: an identical batch of mixed
+   bfs/sssp/cc queries against a shared catalog must yield byte-identical
+   responses, per-job deterministic event streams and a byte-identical
+   folded service digest across pool sizes and across admission
+   interleavings (the same submissions grouped into different arrival
+   batches). This is the [check_invariance] idea lifted one layer up:
+   the lattice axes are (pool size x batching), the compared quantity is
+   the rendered response stream. *)
+module Service_case = struct
+  (* Deterministic mixed workload: query [i] is a function of
+     (seed, i) alone. Sources are drawn over the catalog's node range;
+     an out-of-range source is never generated (those are exercised by
+     unit tests — here every query must complete so the stream is
+     maximally sensitive). *)
+  let queries ~seed ~nodes ~count =
+    List.init count (fun i ->
+        let g = Splitmix.create ((((seed * 1_000_003) + i) * 2) + 1) in
+        match Splitmix.int g 4 with
+        | 0 | 1 -> Service.Query.Bfs { graph = "kout"; source = Splitmix.int g nodes }
+        | 2 -> Service.Query.Sssp { graph = "kout"; source = Splitmix.int g nodes }
+        | _ -> Service.Query.Cc { graph = "sym" })
+
+  type observed = {
+    lines : string list;
+        (* one per job, in job-id order: the rendered response plus the
+           digest of the job's own deterministic event stream *)
+    service_digest : D.t;
+  }
+
+  (* One complete service session on a fresh pool: submit every query
+     (each with its own memory sink), draining after every [chunk]
+     submissions and once more at the end. *)
+  let run_once ~pool_size ~chunk ~seed ~nodes ~count =
+    Galois.Pool.with_pool ~domains:pool_size (fun pool ->
+        let catalog = Service.Catalog.synthetic ~seed ~nodes () in
+        let server = Service.Server.create ~catalog pool in
+        let mems =
+          List.map
+            (fun q ->
+              let mem = Obs.Memory.create () in
+              (match Service.Server.submit ~sink:(Obs.Memory.sink mem) server q with
+              | `Accepted _ -> ()
+              | `Rejected id -> failwith (Printf.sprintf "job %d rejected" id));
+              if (Service.Server.pending server) mod chunk = 0 then
+                ignore (Service.Server.drain server);
+              mem)
+            (queries ~seed ~nodes ~count)
+        in
+        ignore (Service.Server.drain server);
+        let lines =
+          List.map2
+            (fun r mem ->
+              Service.Server.render r ^ "|"
+              ^ D.to_hex
+                  (D.fold_string D.seed
+                     (Obs.deterministic_lines (Obs.Memory.contents mem))))
+            (Service.Server.responses server)
+            mems
+        in
+        { lines; service_digest = Service.Server.digest server })
+
+  let default_pool_sizes = default_threads
+
+  let check ?(pool_sizes = default_pool_sizes) ?(count = 120) ?(nodes = 400)
+      ~seed () =
+    let name = Printf.sprintf "service(count=%d,nodes=%d,seed=%d)" count nodes seed in
+    (* Two admission interleavings: everything in one arrival batch, and
+       uneven batches of 17. *)
+    let interleavings = [ ("batch=all", count); ("batch=17", 17) ] in
+    let runs = ref 0 and divergences = ref [] in
+    let reference = ref None in
+    List.iter
+      (fun pool_size ->
+        List.iter
+          (fun (ilabel, chunk) ->
+            incr runs;
+            let got = run_once ~pool_size ~chunk ~seed ~nodes ~count in
+            let config = Printf.sprintf "pool=%d,%s" pool_size ilabel in
+            let diverged quantity expected gotd =
+              divergences :=
+                {
+                  case_name = name;
+                  config;
+                  threads = pool_size;
+                  quantity;
+                  expected;
+                  got = gotd;
+                }
+                :: !divergences
+            in
+            match !reference with
+            | None -> reference := Some got
+            | Some ref_ ->
+                if not (D.equal ref_.service_digest got.service_digest) then
+                  diverged "service-digest" ref_.service_digest got.service_digest;
+                if not (List.equal String.equal ref_.lines got.lines) then
+                  let fold ls = List.fold_left D.fold_string D.seed ls in
+                  diverged "response-stream" (fold ref_.lines) (fold got.lines))
+          interleavings)
+      pool_sizes;
+    { case_name = name; runs = !runs; divergences = List.rev !divergences }
 end

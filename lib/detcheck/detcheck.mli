@@ -42,7 +42,7 @@ type case = {
           semantics (task keys unique, duplicate collapsing a no-op) *)
   run :
     policy:Galois.Policy.t ->
-    pool:Parallel.Domain_pool.t ->
+    pool:Galois.Pool.t ->
     static_id:bool ->
     run_result;
 }
@@ -181,4 +181,26 @@ module Replay_cases : sig
   val sssp : n:int -> seed:int -> t
   val boruvka : n:int -> seed:int -> t
   val dmr : points:int -> seed:int -> t
+end
+
+(** The service lattice: determinism at the service boundary. An
+    identical mixed bfs/sssp/cc query batch against a shared
+    {!Service.Catalog} must yield byte-identical responses, per-job
+    deterministic event streams, and service digests across pool sizes
+    and across admission interleavings (the same submissions grouped
+    into different arrival batches). *)
+module Service_case : sig
+  val queries : seed:int -> nodes:int -> count:int -> Service.Query.t list
+  (** The deterministic workload: query [i] is a function of
+      [(seed, i)] alone — bfs/sssp against ["kout"], cc against
+      ["sym"], in the {!Service.Catalog.synthetic} catalog. *)
+
+  val check :
+    ?pool_sizes:int list -> ?count:int -> ?nodes:int -> seed:int -> unit -> report
+  (** Run the [count]-query workload (default 120) once per
+      (pool size × interleaving) lattice point — pool sizes default to
+      {!default_threads}, interleavings are one-arrival-batch and
+      uneven batches of 17 — and compare every point's response stream
+      byte-for-byte (with each job's deterministic event-stream digest
+      appended) against the first. *)
 end

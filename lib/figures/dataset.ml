@@ -45,7 +45,7 @@ let collect_bfs pool (s : Scale.t) =
   let det = run det_policy in
   let det_nocont = run det_nocont_policy in
   (* detBFS has no speculation; represent its rounds via level count. *)
-  let _, _, levels = Apps.Bfs.pbbs ~pool g ~source:0 in
+  let _, _, levels = Apps.Bfs.pbbs ~pool:(Galois.Pool.domain_pool pool) g ~source:0 in
   let commits = s.bfs_nodes in
   let pbbs = Some { Detreserve.rounds = levels; commits; retries = 0; time_s = 0.0 } in
   { name = "bfs"; serial; nondet; det; det_nocont; pbbs }
@@ -60,7 +60,7 @@ let collect_mis pool (s : Scale.t) =
   let nondet = run nondet_policy in
   let det = run det_policy in
   let det_nocont = run det_nocont_policy in
-  let _, stats = Apps.Mis.pbbs ~granularity:(max 64 (s.mis_nodes / 20)) ~pool g in
+  let _, stats = Apps.Mis.pbbs ~granularity:(max 64 (s.mis_nodes / 20)) ~pool:(Galois.Pool.domain_pool pool) g in
   { name = "mis"; serial; nondet; det; det_nocont; pbbs = Some stats }
 
 let collect_dt pool (s : Scale.t) =
@@ -73,7 +73,7 @@ let collect_dt pool (s : Scale.t) =
   let nondet = run nondet_policy in
   let det = run det_policy in
   let det_nocont = run det_nocont_policy in
-  let _, stats = Apps.Dt.pbbs ~granularity:(max 64 (s.dt_points / 20)) ~pool pts in
+  let _, stats = Apps.Dt.pbbs ~granularity:(max 64 (s.dt_points / 20)) ~pool:(Galois.Pool.domain_pool pool) pts in
   { name = "dt"; serial; nondet; det; det_nocont; pbbs = Some stats }
 
 let collect_dmr pool (s : Scale.t) =
@@ -85,7 +85,7 @@ let collect_dmr pool (s : Scale.t) =
   let nondet = run nondet_policy in
   let det = run det_policy in
   let det_nocont = run det_nocont_policy in
-  let stats = Apps.Dmr.pbbs ~granularity:256 ~pool (fresh_mesh ()) in
+  let stats = Apps.Dmr.pbbs ~granularity:256 ~pool:(Galois.Pool.domain_pool pool) (fresh_mesh ()) in
   { name = "dmr"; serial; nondet; det; det_nocont; pbbs = Some stats }
 
 let collect_pfp pool (s : Scale.t) =
@@ -106,9 +106,9 @@ let collect_pfp pool (s : Scale.t) =
   { name = "pfp"; serial; nondet; det; det_nocont; pbbs = None }
 
 let collect_kernels pool (s : Scale.t) =
-  let _, bs = Apps.Blackscholes.run ~pool (Apps.Blackscholes.generate ~seed:s.seed s.blackscholes_options) in
-  let bt = (Apps.Bodytrack.run ~config:s.bodytrack ~pool ()).Apps.Bodytrack.profile in
-  let _, fm = Apps.Freqmine.run ~config:s.freqmine ~pool () in
+  let _, bs = Apps.Blackscholes.run ~pool:(Galois.Pool.domain_pool pool) (Apps.Blackscholes.generate ~seed:s.seed s.blackscholes_options) in
+  let bt = (Apps.Bodytrack.run ~config:s.bodytrack ~pool:(Galois.Pool.domain_pool pool) ()).Apps.Bodytrack.profile in
+  let _, fm = Apps.Freqmine.run ~config:s.freqmine ~pool:(Galois.Pool.domain_pool pool) () in
   [
     { kname = "blackscholes"; profile = bs };
     { kname = "bodytrack"; profile = bt };
@@ -116,7 +116,7 @@ let collect_kernels pool (s : Scale.t) =
   ]
 
 let collect (s : Scale.t) =
-  Parallel.Domain_pool.with_pool run_threads (fun pool ->
+  Galois.Pool.with_pool ~domains:run_threads (fun pool ->
       let apps =
         [
           collect_bfs pool s;

@@ -507,7 +507,7 @@ let ablation t =
   let scale = t.data.scale in
   let m = Machine.m4x10 in
   let tmax = max_threads_of m in
-  Parallel.Domain_pool.with_pool Dataset.run_threads (fun pool ->
+  Galois.Pool.with_pool ~domains:Dataset.run_threads (fun pool ->
       let bfs_graph =
         Graphlib.Generators.kout ~seed:scale.Scale.seed ~n:scale.Scale.bfs_nodes
           ~k:scale.Scale.bfs_degree ()
@@ -675,7 +675,7 @@ let phase_breakdown (events : Obs.stamped list) =
    sink, summarized by [phase_breakdown]. *)
 let obs_phases t =
   let scale = t.data.Dataset.scale in
-  Parallel.Domain_pool.with_pool Dataset.run_threads (fun pool ->
+  Galois.Pool.with_pool ~domains:Dataset.run_threads (fun pool ->
       let g =
         Graphlib.Generators.kout ~seed:scale.Scale.seed ~n:scale.Scale.bfs_nodes
           ~k:scale.Scale.bfs_degree ()

@@ -99,20 +99,42 @@ let deterministic_lines trace =
 
 type sink = { emit : stamped -> unit; close : unit -> unit }
 
-let null = { emit = ignore; close = ignore }
+module Sink = struct
+  type nonrec t = sink
 
-let tee a b =
-  {
-    emit =
-      (fun s ->
-        a.emit s;
-        b.emit s);
-    close =
-      (fun () ->
-        a.close ();
-        b.close ());
-  }
+  let null = { emit = ignore; close = ignore }
+  let is_null s = s == null
 
+  (* [null] operands collapse away, so builder code can chain optional
+     sinks unconditionally without stacking dead indirections. *)
+  let tee a b =
+    if is_null a then b
+    else if is_null b then a
+    else
+      {
+        emit =
+          (fun s ->
+            a.emit s;
+            b.emit s);
+        close =
+          (fun () ->
+            a.close ();
+            b.close ());
+      }
+
+  let of_list sinks =
+    match List.filter (fun s -> not (is_null s)) sinks with
+    | [] -> null
+    | [ s ] -> s
+    | sinks ->
+        {
+          emit = (fun ev -> List.iter (fun s -> s.emit ev) sinks);
+          close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+        }
+end
+
+let null = Sink.null
+let tee = Sink.tee
 let close s = s.close ()
 
 let pretty ?ppf () =

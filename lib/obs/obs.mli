@@ -112,11 +112,33 @@ type sink = { emit : stamped -> unit; close : unit -> unit }
     never closes user-supplied sinks — a sink may outlive several runs,
     e.g. one trace file across the epochs of [pfp]). *)
 
+(** Sink combinators: compose per-job sinks with a global sink (the
+    service layer's shape — every query can carry its own sink teed
+    into the server's), or fan one stream out to several consumers. *)
+module Sink : sig
+  type t = sink
+
+  val null : t
+  (** Discards everything. *)
+
+  val is_null : t -> bool
+  (** Physical test against {!null} — the combinators guarantee any
+      composition that would discard everything {e is} [null]. *)
+
+  val tee : t -> t -> t
+  (** Emits into both sinks; [close] closes both. [null] operands
+      collapse: [tee null s == s]. *)
+
+  val of_list : t list -> t
+  (** Emits into every sink, in list order; [close] closes all. [null]
+      elements are dropped; an empty (or all-[null]) list is {!null}. *)
+end
+
 val null : sink
-(** Discards everything. *)
+(** [Sink.null]. *)
 
 val tee : sink -> sink -> sink
-(** Emits into both sinks; [close] closes both. *)
+(** [Sink.tee]. *)
 
 val close : sink -> unit
 (** [close s = s.close ()]. *)

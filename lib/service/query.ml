@@ -1,0 +1,33 @@
+(* The service's request language: one line per query, referring to a
+   catalog graph by name. The grammar is deliberately tiny — the point
+   of the service layer is deterministic execution, not expressiveness —
+   and round-trips through [to_string]/[of_string] so responses can
+   echo the query they answered verbatim. *)
+
+type t =
+  | Bfs of { graph : string; source : int }
+  | Sssp of { graph : string; source : int }
+  | Cc of { graph : string }
+
+let graph = function Bfs { graph; _ } | Sssp { graph; _ } | Cc { graph } -> graph
+
+let to_string = function
+  | Bfs { graph; source } -> Printf.sprintf "bfs:%s:%d" graph source
+  | Sssp { graph; source } -> Printf.sprintf "sssp:%s:%d" graph source
+  | Cc { graph } -> Printf.sprintf "cc:%s" graph
+
+let of_string s =
+  let source_of src k =
+    match int_of_string_opt src with
+    | Some source when source >= 0 -> Ok (k source)
+    | _ -> Error (Printf.sprintf "query %S: bad source %S" s src)
+  in
+  match String.split_on_char ':' s with
+  | [ "bfs"; graph; src ] when graph <> "" ->
+      source_of src (fun source -> Bfs { graph; source })
+  | [ "sssp"; graph; src ] when graph <> "" ->
+      source_of src (fun source -> Sssp { graph; source })
+  | [ "cc"; graph ] when graph <> "" -> Ok (Cc { graph })
+  | _ ->
+      Error
+        (Printf.sprintf "query %S: expected bfs:GRAPH:SRC | sssp:GRAPH:SRC | cc:GRAPH" s)

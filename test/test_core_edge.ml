@@ -104,9 +104,9 @@ let test_det_window_floor () =
   check_int "every task appears once" 40 (Array.fold_left (fun a c -> a + List.length c) 0 out)
 
 let test_runtime_rejects_small_pool () =
-  Parallel.Domain_pool.with_pool 2 (fun pool ->
+  Galois.Pool.with_pool ~domains:2 (fun pool ->
       Alcotest.check_raises "pool too small"
-        (Invalid_argument "Runtime.for_each: pool smaller than policy thread count") (fun () ->
+        (Invalid_argument "Galois.Run: pool smaller than policy thread count") (fun () ->
           ignore
             (Galois.Runtime.for_each ~policy:(Galois.Policy.nondet 4) ~pool
                ~operator:noop_operator [| () |])))

@@ -66,7 +66,7 @@ let test_gen_is_pure () =
   (* Same seed, fresh case values: identical digests run to run. *)
   let digest () =
     let case = Detcheck.Gen.case ~seed:42 in
-    Parallel.Domain_pool.with_pool 2 (fun pool ->
+    Galois.Pool.with_pool ~domains:2 (fun pool ->
         case.Detcheck.run ~policy:(Galois.Policy.det 2) ~pool ~static_id:false)
   in
   let a = digest () and b = digest () in

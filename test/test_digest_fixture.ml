@@ -34,22 +34,21 @@ let cases () =
     Detcheck.App_cases.dmr ~points:90 ~seed:7;
   ]
 
-let observed () =
-  Parallel.Domain_pool.with_pool 2 (fun pool ->
-      List.concat_map
-        (fun (case : Detcheck.case) ->
-          List.map
-            (fun (cfg : Detcheck.config) ->
-              let r =
-                case.run
-                  ~policy:(Galois.Policy.det ~options:cfg.options 2)
-                  ~pool ~static_id:cfg.static_id
-              in
-              Printf.sprintf "%s|%s|%s|%s" case.name cfg.label
-                (D.to_hex r.sched_digest)
-                (D.to_hex (D.fold_string D.seed r.det_trace)))
-            (Detcheck.lattice ~static_id_capable:case.static_id_capable))
-        (cases ()))
+let observed pool =
+  List.concat_map
+    (fun (case : Detcheck.case) ->
+      List.map
+        (fun (cfg : Detcheck.config) ->
+          let r =
+            case.run
+              ~policy:(Galois.Policy.det ~options:cfg.options 2)
+              ~pool ~static_id:cfg.static_id
+          in
+          Printf.sprintf "%s|%s|%s|%s" case.name cfg.label
+            (D.to_hex r.sched_digest)
+            (D.to_hex (D.fold_string D.seed r.det_trace)))
+        (Detcheck.lattice ~static_id_capable:case.static_id_capable))
+    (cases ())
 
 (* case|config|sched-digest|det-event-stream-digest — pre-rework DIG
    scheduler, captured 2026-08-06. *)
@@ -108,7 +107,7 @@ let expected =
   ]
 
 let test_fixture () =
-  let got = observed () in
+  let got = Galois.Pool.with_pool ~domains:2 observed in
   if Sys.getenv_opt "FIXTURE_PRINT" <> None then
     List.iter print_endline got
   else begin
@@ -117,6 +116,22 @@ let test_fixture () =
       (fun e g -> Alcotest.(check string) "schedule digest pinned" e g)
       expected got
   end
+
+(* Pool-reuse determinism: the whole 50-point fixture run twice on one
+   shared long-lived pool must byte-match itself *and* the pinned table
+   — a reused pool (warm workers, accumulated sync counters) is
+   schedule-neutral. *)
+let test_pool_reuse () =
+  Galois.Pool.with_pool ~domains:2 (fun pool ->
+      let first = observed pool in
+      let second = observed pool in
+      Alcotest.(check int) "same size" (List.length first) (List.length second);
+      List.iter2
+        (fun a b -> Alcotest.(check string) "reused pool is schedule-neutral" a b)
+        first second;
+      List.iter2
+        (fun e g -> Alcotest.(check string) "reused pool hits the pinned table" e g)
+        expected first)
 
 (* Checkpoint/resume against the same table: crash each fixture case at
    its midpoint round, resume live, and require the *pinned* digest —
@@ -177,6 +192,7 @@ let test_resume_reproduces_pinned () =
 let suite =
   [
     Alcotest.test_case "pre-rework schedule digests" `Slow test_fixture;
+    Alcotest.test_case "pool reuse is schedule-neutral" `Slow test_pool_reuse;
     Alcotest.test_case "midpoint resume hits pinned digests" `Slow
       test_resume_reproduces_pinned;
   ]

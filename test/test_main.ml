@@ -24,4 +24,5 @@ let () =
       ("simmachine", Test_simmachine.suite);
       ("analysis", Test_analysis.suite);
       ("figures", Test_figures.suite);
+      ("service", Test_service.suite);
     ]
