@@ -139,6 +139,78 @@ let run_lockstep ~cases ~seed ~apps ~threads ~size ~points ~every ~verbose =
   end
   else `Error (false, Printf.sprintf "detcheck --dmr-style: %d failure(s)" !failures)
 
+(* --audit: dynamic neighborhood/race audit. Every Run-based benchmark
+   executes with the shadow access recorder on — its report must be
+   clean at every thread count (cautiousness, containment, and
+   intra-round disjointness, acquires counting as writes) — then the two
+   deliberately broken operators run as positive controls, whose witness
+   findings must be flagged verbatim with (rule, round, task). *)
+let run_audit ~seed ~threads ~size ~points ~verbose =
+  let threads = if threads = [] then Detcheck.default_threads else threads in
+  let tlist = String.concat "," (List.map string_of_int threads) in
+  let failures = ref 0 in
+  let tmax = List.fold_left max 1 threads in
+  Galois.Pool.with_pool ~domains:tmax (fun pool ->
+      List.iter
+        (fun (c : Detcheck.Audit_cases.t) ->
+          let before = !failures in
+          List.iter
+            (fun t ->
+              let report = c.run ~policy:(Galois.Policy.det t) ~pool in
+              if Galois.Audit.clean report then begin
+                if verbose then
+                  Fmt.pr "ok    audit %s det:%d (%d rounds, %d tasks)@." c.name t
+                    report.Galois.Audit.rounds report.Galois.Audit.tasks
+              end
+              else begin
+                incr failures;
+                Fmt.pr "FAIL  audit %s det:%d: %d finding(s)@." c.name t
+                  (List.length report.Galois.Audit.findings);
+                List.iter
+                  (fun f -> Fmt.pr "      %a@." Galois.Audit.pp_finding f)
+                  report.Galois.Audit.findings
+              end)
+            threads;
+          if !failures = before && not verbose then
+            Fmt.pr "ok    audit %s clean at det:{%s}@." c.name tlist)
+        (Detcheck.Audit_cases.apps ~n:size ~points ~seed);
+      List.iter
+        (fun (c : Detcheck.Audit_cases.control) ->
+          let before = !failures in
+          List.iter
+            (fun t ->
+              let report, witnesses = c.crun ~policy:(Galois.Policy.det t) ~pool in
+              let missing =
+                List.filter
+                  (fun w -> not (List.mem w report.Galois.Audit.findings))
+                  witnesses
+              in
+              if missing <> [] then begin
+                incr failures;
+                Fmt.pr "FAIL  control %s det:%d: expected finding(s) not flagged@."
+                  c.cname t;
+                List.iter (fun f -> Fmt.pr "      want %a@." Galois.Audit.pp_finding f) missing;
+                List.iter
+                  (fun f -> Fmt.pr "      got  %a@." Galois.Audit.pp_finding f)
+                  report.Galois.Audit.findings
+              end
+              else if verbose then begin
+                Fmt.pr "ok    control %s det:%d flagged (%d finding(s))@." c.cname t
+                  (List.length report.Galois.Audit.findings);
+                List.iter
+                  (fun f -> Fmt.pr "      %a@." Galois.Audit.pp_finding f)
+                  report.Galois.Audit.findings
+              end)
+            threads;
+          if !failures = before && not verbose then
+            Fmt.pr "ok    control %s flagged at det:{%s}@." c.cname tlist)
+        (Detcheck.Audit_cases.controls ~n:size ~seed));
+  if !failures = 0 then begin
+    Fmt.pr "detcheck --audit: all passed@.";
+    `Ok ()
+  end
+  else `Error (false, Printf.sprintf "detcheck --audit: %d failure(s)" !failures)
+
 let run ~cases ~seed ~apps ~threads ~size ~points ~service ~verbose =
   let threads = if threads = [] then Detcheck.default_threads else threads in
   let failures = ref 0 in
@@ -278,6 +350,15 @@ let every_arg =
   let doc = "Checkpoint cadence (rounds) for $(b,--dmr-style) digest cross-checks." in
   Arg.(value & opt int 4 & info [ "every" ] ~docv:"K" ~doc)
 
+let audit_arg =
+  let doc =
+    "Dynamic neighborhood/race audit: run every Run-based benchmark with the shadow \
+     access recorder on (reports must be clean — cautious, contained, intra-round \
+     disjoint — at every $(b,--threads) count), then two deliberately broken operators \
+     as positive controls whose findings must be localized to (rule, round, task)."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
 let cmd =
   let doc = "audit the determinism claims of the DIG scheduler" in
   let man =
@@ -295,18 +376,21 @@ let cmd =
       `P "detcheck --cases 25 --seed 2014";
       `P "detcheck --apps dmr --cases 0 --threads 1,3,5 -v";
       `P "detcheck --dmr-style --cases 5 --every 2 --threads 2,4";
+      `P "detcheck --audit --size 300 --threads 1,2,4";
     ]
   in
   let term =
     Term.(
       ret
-        (const (fun cases seed apps threads size points service verbose dmr_style every ->
+        (const (fun cases seed apps threads size points service verbose dmr_style every
+                    audit ->
              if every < 1 then `Error (false, "--every must be >= 1")
+             else if audit then run_audit ~seed ~threads ~size ~points ~verbose
              else if dmr_style then
                run_lockstep ~cases ~seed ~apps ~threads ~size ~points ~every ~verbose
              else run ~cases ~seed ~apps ~threads ~size ~points ~service ~verbose)
         $ cases_arg $ seed_arg $ apps_arg $ threads_arg $ size_arg $ points_arg
-        $ service_arg $ verbose_arg $ dmr_style_arg $ every_arg))
+        $ service_arg $ verbose_arg $ dmr_style_arg $ every_arg $ audit_arg))
   in
   Cmd.v (Cmd.info "detcheck" ~version:"1.0.0" ~doc ~man) term
 

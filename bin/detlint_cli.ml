@@ -1,0 +1,82 @@
+(* Static determinism lint driver.
+
+     detlint [PATH...]        lint every .ml under the paths (default: lib bin)
+     detlint --json           one JSON object per finding on stdout
+     detlint --rules          list the rules and exit
+
+   Exit status 0 when the tree is clean, 1 when there are findings —
+   wired into `dune runtest` via the @lint alias, so a stray Random.*,
+   Hashtbl.iter or wall-clock read in deterministic-path code fails the
+   build unless it carries a reasoned escape comment. *)
+
+let run ~json ~list_rules ~paths =
+  if list_rules then begin
+    List.iter (fun (name, doc) -> Fmt.pr "%-14s %s@." name doc) Detlint.rules;
+    `Ok ()
+  end
+  else
+    let paths = if paths = [] then [ "lib"; "bin" ] else paths in
+    match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+    | Some p -> `Error (false, Printf.sprintf "detlint: no such path %S" p)
+    | None ->
+        let findings = Detlint.scan_paths paths in
+        List.iter
+          (fun f ->
+            if json then print_endline (Detlint.to_json f)
+            else Fmt.pr "%a@." Detlint.pp_finding f)
+          findings;
+        let n = List.length findings in
+        if n = 0 then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf
+                "detlint: %d finding(s) (suppress with (* detlint: allow <rule> — \
+                 <reason> *) if genuinely safe)"
+                n )
+
+open Cmdliner
+
+let json_arg =
+  let doc = "Emit findings as one JSON object per line." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let rules_arg =
+  let doc = "List the lint rules and exit." in
+  Arg.(value & flag & info [ "rules" ] ~doc)
+
+let paths_arg =
+  let doc = "Files or directories to lint (every .ml underneath, recursively)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+
+let cmd =
+  let doc = "statically lint source for determinism hazards" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml under the given paths and flags constructs that undermine \
+         deterministic execution: ambient randomness (Random.*), hash-bucket iteration \
+         order (Hashtbl.iter/fold/to_seq*), wall-clock reads outside Clock and driver \
+         code, Domain.self-dependent control flow, and polymorphic structural hashing \
+         of mutable values (Hashtbl.hash family).";
+      `P
+        "A finding is suppressed by a comment (* detlint: allow <rule> — <reason> *) on \
+         or just above the offending line ((* detlint: allow-file ... *) covers the whole \
+         file). The reason is mandatory: an allow without one, or naming an unknown rule, \
+         is itself reported as bad-allow.";
+      `S Manpage.s_examples;
+      `P "detlint";
+      `P "detlint --json lib/core";
+      `P "detlint --rules";
+    ]
+  in
+  let term =
+    Term.(
+      ret
+        (const (fun json list_rules paths -> run ~json ~list_rules ~paths)
+        $ json_arg $ rules_arg $ paths_arg))
+  in
+  Cmd.v (Cmd.info "detlint" ~version:"1.0.0" ~doc ~man) term
+
+let () = exit (Cmd.eval cmd)

@@ -43,13 +43,14 @@ let plan g ~source =
   in
   (run, dist)
 
-let galois ?record ?sink ~policy ?pool g ~source =
+let galois ?record ?audit ?sink ~policy ?pool g ~source =
   let run, dist = plan g ~source in
   let report =
     run
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> (match audit with Some true -> Galois.Run.audit | _ -> Fun.id)
     |> Galois.Run.opt Galois.Run.sink sink
     |> Galois.Run.exec
   in

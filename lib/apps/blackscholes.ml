@@ -52,7 +52,7 @@ let run ?(iterations = 1) ~pool options =
   let n = Array.length options in
   let out = Array.make n 0.0 in
   let atomics = Atomic.make 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Galois.Clock.now_s () in
   for _ = 1 to iterations do
     (* One dynamic chunk grab per 1024 options is the only shared-memory
        synchronization — the kernel's defining characteristic. *)
@@ -60,7 +60,7 @@ let run ?(iterations = 1) ~pool options =
         if i land 1023 = 0 then Atomic.incr atomics;
         out.(i) <- price options.(i))
   done;
-  let time_s = Unix.gettimeofday () -. t0 in
+  let time_s = Galois.Clock.elapsed_s t0 in
   ( out,
     {
       Kernel_profile.tasks = n * iterations;

@@ -42,7 +42,7 @@ let run ?(config = default_config) ~pool () =
   let weights = Array.make np 0.0 in
   let error_sum = ref 0.0 in
   let atomics = ref 0 and barriers = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Galois.Clock.now_s () in
   for _frame = 1 to frames do
     (* The hidden pose drifts deterministically. *)
     for j = 0 to dim - 1 do
@@ -100,7 +100,7 @@ let run ?(config = default_config) ~pool () =
     done;
     error_sum := !error_sum +. sqrt !err
   done;
-  let time_s = Unix.gettimeofday () -. t0 in
+  let time_s = Galois.Clock.elapsed_s t0 in
   let tasks = np * frames * layers in
   {
     mean_error = !error_sum /. float_of_int frames;

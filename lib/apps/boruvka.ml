@@ -97,13 +97,14 @@ let plan g weights =
   in
   (run, forest)
 
-let galois ?record ?sink ~policy ?pool g weights =
+let galois ?record ?audit ?sink ~policy ?pool g weights =
   let run, forest = plan g weights in
   let report =
     run
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> (match audit with Some true -> Galois.Run.audit | _ -> Fun.id)
     |> Galois.Run.opt Galois.Run.sink sink
     |> Galois.Run.exec
   in

@@ -15,6 +15,7 @@ val plan :
 
 val galois :
   ?record:bool ->
+  ?audit:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Galois.Pool.t ->

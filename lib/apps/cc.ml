@@ -8,7 +8,7 @@
 
 module Csr = Graphlib.Csr
 
-let galois ?record ?sink ~policy ?pool g =
+let galois ?record ?audit ?sink ~policy ?pool g =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let label = Array.init n Fun.id in
@@ -35,6 +35,7 @@ let galois ?record ?sink ~policy ?pool g =
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> (match audit with Some true -> Galois.Run.audit | _ -> Fun.id)
     |> Galois.Run.opt Galois.Run.sink sink
     |> Galois.Run.exec
   in

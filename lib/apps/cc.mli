@@ -3,6 +3,7 @@
 
 val galois :
   ?record:bool ->
+  ?audit:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Galois.Pool.t ->

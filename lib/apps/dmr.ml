@@ -118,11 +118,12 @@ let plan ?(config = default_config) mesh =
   let bad = Array.of_list (bad_triangles config mesh) in
   Galois.Run.make ~operator:(operator config mesh) bad |> Galois.Run.app "dmr"
 
-let galois ?(config = default_config) ?record ?sink ~policy ?pool mesh =
+let galois ?(config = default_config) ?record ?audit ?sink ~policy ?pool mesh =
   plan ~config mesh
   |> Galois.Run.policy policy
   |> Galois.Run.opt Galois.Run.pool pool
   |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+  |> (match audit with Some true -> Galois.Run.audit | _ -> Fun.id)
   |> Galois.Run.opt Galois.Run.sink sink
   |> Galois.Run.exec
 

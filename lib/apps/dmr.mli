@@ -31,6 +31,7 @@ val plan : ?config:config -> Mesh.t -> (Mesh.triangle, op_state) Galois.Run.t
 val galois :
   ?config:config ->
   ?record:bool ->
+  ?audit:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Galois.Pool.t ->

@@ -92,13 +92,14 @@ let operator st ctx pid =
           Galois.Context.save ctx cavity;
           insert_with_cavity st ctx pid cavity)
 
-let galois ?record ?sink ~policy ?pool points =
+let galois ?record ?audit ?sink ~policy ?pool points =
   let st, fakes = prepare points in
   let report =
     Galois.Run.make ~operator:(operator st) (Array.init st.n Fun.id)
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> (match audit with Some true -> Galois.Run.audit | _ -> Fun.id)
     |> Galois.Run.opt Galois.Run.sink sink
     |> Galois.Run.exec
   in

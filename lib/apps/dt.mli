@@ -6,6 +6,7 @@ type state
 
 val galois :
   ?record:bool ->
+  ?audit:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Galois.Pool.t ->

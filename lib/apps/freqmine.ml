@@ -91,15 +91,24 @@ let conditional_paths table item =
 let rec mine ~min_support paths work =
   (* Count item frequencies inside the conditional base. *)
   let freq = Hashtbl.create 16 in
+  let seen = ref [] in
   List.iter
     (fun (path, c) ->
       List.iter
         (fun item ->
-          Hashtbl.replace freq item (c + Option.value ~default:0 (Hashtbl.find_opt freq item)))
+          match Hashtbl.find_opt freq item with
+          | None ->
+              seen := item :: !seen;
+              Hashtbl.replace freq item c
+          | Some c0 -> Hashtbl.replace freq item (c0 + c))
         path)
     paths;
-  let frequent = Hashtbl.fold (fun i c acc -> if c >= min_support then i :: acc else acc) freq [] in
-  let frequent = List.sort compare frequent in
+  (* Walk the explicit occurrence list, never the table: Hashtbl.fold
+     visits bindings in hash-bucket order, which is representation-, not
+     input-, determined. The sort pins the recursion order by item id. *)
+  let frequent =
+    List.sort compare (List.filter (fun i -> Hashtbl.find freq i >= min_support) !seen)
+  in
   work := !work + List.length paths + List.length frequent;
   List.fold_left
     (fun acc item ->
@@ -121,7 +130,7 @@ let rec mine ~min_support paths work =
 
 let run ?(config = default_config) ~pool () =
   let db = generate config in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Galois.Clock.now_s () in
   (* Pass 1 (parallel): global item frequencies via per-worker partial
      counts. *)
   let workers = Parallel.Domain_pool.size pool in
@@ -160,7 +169,7 @@ let run ?(config = default_config) ~pool () =
       results.(idx) <- 1 + mine ~min_support:config.min_support paths work;
       costs.(idx) <- 1 + !work);
   let total = Array.fold_left ( + ) 0 results in
-  let time_s = Unix.gettimeofday () -. t0 in
+  let time_s = Galois.Clock.elapsed_s t0 in
   ( total,
     {
       Kernel_profile.tasks = Array.length items;

@@ -20,7 +20,7 @@ type config = { damping : int; tolerance : int }
 (* damping 0.85, tolerance 1e-3 in fixed point *)
 let default_config = { damping = 85 * one / 100; tolerance = one / 1000 }
 
-let galois ?(config = default_config) ?record ?sink ~policy ?pool g =
+let galois ?(config = default_config) ?record ?audit ?sink ~policy ?pool g =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let rank = Array.make n 0 in
@@ -54,6 +54,7 @@ let galois ?(config = default_config) ?record ?sink ~policy ?pool g =
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> (match audit with Some true -> Galois.Run.audit | _ -> Fun.id)
     |> Galois.Run.opt Galois.Run.sink sink
     |> Galois.Run.exec
   in

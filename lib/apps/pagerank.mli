@@ -13,6 +13,7 @@ val default_config : config
 val galois :
   ?config:config ->
   ?record:bool ->
+  ?audit:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Galois.Pool.t ->

@@ -17,6 +17,7 @@ type result = {
   global_relabels : int;
   stats : Galois.Stats.t;  (* summed over epochs; Stats.zero for serial *)
   schedule : Galois.Schedule.t option;  (* concatenated over epochs *)
+  audit : Galois.Audit.report option;  (* merged over epochs *)
 }
 
 (* Discharge [u] to zero excess. [activated v] is called whenever a push
@@ -76,7 +77,7 @@ let saturate_source net excess ~activated =
     end
   done
 
-let galois ?(record = false) ?sink ~policy ?pool net =
+let galois ?(record = false) ?(audit = false) ?sink ~policy ?pool net =
   let n = Flow_network.nodes net in
   let locks = Galois.Lock.create_array n in
   let height = Array.make n 0 and excess = Array.make n 0 in
@@ -87,6 +88,7 @@ let galois ?(record = false) ?sink ~policy ?pool net =
   let pending_relabels = ref 0 in
   let epochs = ref 0 and global_relabels = ref 1 in
   let total = ref (Galois.Stats.zero (Galois.Policy.threads policy)) in
+  let audit_total = ref Galois.Audit.empty_report in
   let flat_records = ref [] and round_records = ref [] in
   (* Per-node relabel tallies, written under the node's lock and summed
      sequentially between epochs — keeping the relabel trigger (and so
@@ -134,6 +136,7 @@ let galois ?(record = false) ?sink ~policy ?pool net =
         |> Galois.Run.policy policy
         |> Galois.Run.opt Galois.Run.pool pool
         |> (if record then Galois.Run.record else Fun.id)
+        |> (if audit then Galois.Run.audit else Fun.id)
         |> Galois.Run.static_id Fun.id
         |> Galois.Run.opt Galois.Run.sink sink
         |> Galois.Run.exec
@@ -148,6 +151,9 @@ let galois ?(record = false) ?sink ~policy ?pool net =
           relabel_tally.(u) <- 0)
         active;
       total := Galois.Stats.add !total report.stats;
+      (match report.audit with
+      | Some a -> audit_total := Galois.Audit.merge_reports !audit_total a
+      | None -> ());
       loop ()
     end
   in
@@ -164,6 +170,7 @@ let galois ?(record = false) ?sink ~policy ?pool net =
     global_relabels = !global_relabels;
     stats = !total;
     schedule;
+    audit = (if audit then Some !audit_total else None);
   }
 
 let serial net =
@@ -201,4 +208,5 @@ let serial net =
     global_relabels = !global_relabels;
     stats = Galois.Stats.zero 1;
     schedule = None;
+    audit = None;
   }

@@ -6,6 +6,7 @@ type result = {
   global_relabels : int;
   stats : Galois.Stats.t;
   schedule : Galois.Schedule.t option;
+  audit : Galois.Audit.report option;
 }
 
 val discharge :
@@ -16,6 +17,7 @@ val saturate_source : Flow_network.t -> int array -> activated:(int -> unit) -> 
 
 val galois :
   ?record:bool ->
+  ?audit:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Galois.Pool.t ->

@@ -18,7 +18,7 @@ let count_at g u =
         Csr.iter_succ g v (fun w -> if w > v && Csr.exists_succ g u (fun x -> x = w) then incr count));
   !count
 
-let galois ?record ?sink ~policy ?pool g =
+let galois ?record ?audit ?sink ~policy ?pool g =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let per_node = Array.make n 0 in
@@ -39,6 +39,7 @@ let galois ?record ?sink ~policy ?pool g =
     |> Galois.Run.policy policy
     |> Galois.Run.opt Galois.Run.pool pool
     |> (match record with Some true -> Galois.Run.record | _ -> Fun.id)
+    |> (match audit with Some true -> Galois.Run.audit | _ -> Fun.id)
     |> Galois.Run.opt Galois.Run.sink sink
     |> Galois.Run.exec
   in

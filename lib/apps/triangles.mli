@@ -7,6 +7,7 @@ val count_at : Graphlib.Csr.t -> int -> int
 
 val galois :
   ?record:bool ->
+  ?audit:bool ->
   ?sink:Obs.sink ->
   policy:Galois.Policy.t ->
   ?pool:Galois.Pool.t ->

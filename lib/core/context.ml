@@ -45,6 +45,10 @@ type ('item, 'state) t = {
   mutable pushed_count : int;
   mutable work_units : int;
   mutable on_defeat : int -> unit;
+  (* Audit recorder tape, set once per run by the DIG scheduler when
+     auditing is on. [None] (the default) keeps acquire/touch at one
+     predictable branch — no recorder allocation on the hot path. *)
+  mutable tape : Audit.tape option;
 }
 
 let no_defeat (_ : int) = ()
@@ -63,6 +67,7 @@ let create () =
     pushed_count = 0;
     work_units = 0;
     on_defeat = no_defeat;
+    tape = None;
   }
 
 let reset t ~phase ~task_id ~stamp ~saved =
@@ -99,6 +104,13 @@ let acquire t lock =
       else raise Conflict
   | Inspect ->
       t.stats.atomic_updates <- t.stats.atomic_updates + 1;
+      (match t.tape with
+      | None -> ()
+      | Some tape ->
+          (* The commit phase re-verifies the same prefix; recording
+             only here keeps one event per acquisition per round. *)
+          Audit.record tape ~task:t.task_id ~lid:(Lock.id lock) ~kind:Audit.Acquire
+            ~pre:true);
       add_lock t lock;
       (match Lock.claim_max lock ~stamp:t.stamp t.task_id with
       | `Won 0 -> ()
@@ -132,7 +144,15 @@ let register_new t lock =
       (* Object creation is a write; writes may not precede the failsafe
          point. *)
       raise Not_cautious
-  | Commit -> ()
+  | Commit -> (
+      match t.tape with
+      | None -> ()
+      | Some tape ->
+          (* A freshly created location belongs to this task's
+             neighborhood: record it as acquired so commit-phase
+             touches on it pass the containment check. *)
+          Audit.record tape ~task:t.task_id ~lid:(Lock.id lock) ~kind:Audit.Acquire
+            ~pre:false)
 
 let failsafe t =
   if not t.past_failsafe then begin
@@ -155,6 +175,18 @@ let save t state = t.saved <- Some state
 let saved t = t.saved
 
 let work t units = t.work_units <- t.work_units + units
+
+(* Declare a shared-state access for the dynamic audit (a no-op beyond
+   one branch when auditing is off). The declaration does not
+   synchronize anything — it feeds the per-round containment /
+   cautiousness / race checks in [Audit]. *)
+let touch ?(write = true) t lock =
+  match t.tape with
+  | None -> ()
+  | Some tape ->
+      Audit.record tape ~task:t.task_id ~lid:(Lock.id lock)
+        ~kind:(if write then Audit.Write else Audit.Read)
+        ~pre:(not t.past_failsafe)
 
 let phase t = t.phase
 
@@ -209,6 +241,7 @@ let work_units t = t.work_units
 let reached_failsafe t = t.past_failsafe
 let set_on_defeat t f = t.on_defeat <- f
 let set_stats t stats = t.stats <- stats
+let set_tape t tape = t.tape <- tape
 
 let release_all t =
   for i = 0 to t.neighborhood_size - 1 do

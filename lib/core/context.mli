@@ -42,6 +42,16 @@ val register_new : (_, _) t -> Lock.t -> unit
     failsafe point (a fresh object, e.g. a new mesh triangle). Must only
     be called with locks nobody else has seen. *)
 
+val touch : ?write:bool -> (_, _) t -> Lock.t -> unit
+(** Declare a shared-state access on an abstract location for the
+    dynamic determinism audit ({!Audit}, enabled via [Run.audit]):
+    a write by default, a read with [~write:false]. Purely
+    observational — it never synchronizes or raises; with auditing off
+    it costs one branch. Accesses before the failsafe point are
+    recorded as such and flagged as cautiousness violations when they
+    are writes; accesses to locations outside the acquired neighborhood
+    are flagged as containment violations at the end of the round. *)
+
 val push : ('item, _) t -> 'item -> unit
 (** Create a new task. Buffered; takes effect only if this task
     commits. *)
@@ -108,4 +118,10 @@ val work_units : (_, _) t -> int
 val reached_failsafe : (_, _) t -> bool
 val set_on_defeat : (_, _) t -> (int -> unit) -> unit
 val set_stats : (_, _) t -> Stats.worker -> unit
+
+val set_tape : (_, _) t -> Audit.tape option -> unit
+(** Attach (or detach) the audit recorder tape this context records
+    acquire/touch events into. Set once per run by the DIG scheduler;
+    [None] disables recording. *)
+
 val release_all : (_, _) t -> unit

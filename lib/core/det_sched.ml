@@ -214,8 +214,8 @@ type 'item boundary = {
   b_inspected : int;
 }
 
-let run ?(record = false) ?(sink = Obs.null) ?checkpoint ?resume ?stop_after ?threads
-    ~pool ~options ~static_id ~operator items =
+let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_after
+    ?threads ~pool ~options ~static_id ~operator items =
   let { Policy.target_ratio; initial_window; spread; continuation; validate } = options in
   (match checkpoint with
   | Some (every, _) when every < 1 ->
@@ -230,6 +230,7 @@ let run ?(record = false) ?(sink = Obs.null) ?checkpoint ?resume ?stop_after ?th
      deterministic — detcheck compares the rendered deterministic stream
      byte-for-byte across thread counts. *)
   let tracing = sink != Obs.null in
+  (* detlint: allow wall-clock — Obs.at_s is an absolute wall-clock timestamp; durations use Clock *)
   let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
   let inspect_s = ref 0.0 and select_s = ref 0.0 in
   (* The policy's thread count rules; extra pool workers stay idle. *)
@@ -243,6 +244,9 @@ let run ?(record = false) ?(sink = Obs.null) ?checkpoint ?resume ?stop_after ?th
     Array.init threads (fun w ->
         let ctx = Context.create () in
         Context.set_stats ctx workers.(w);
+        (match audit with
+        | None -> ()
+        | Some a -> Context.set_tape ctx (Some (Audit.tape a w)));
         ctx)
   in
   let sync0 = Parallel.Domain_pool.sync_counters pool in
@@ -506,6 +510,31 @@ let run ?(record = false) ?(sink = Obs.null) ?checkpoint ?resume ?stop_after ?th
       end
     done;
     digest := Trace_digest.fold_int !digest !n_committed;
+    (* Dynamic determinism audit: drain the access tapes and check
+       cautiousness / containment / round-level races against the
+       committed set, before the pending deque is compacted. *)
+    (match audit with
+    | None -> ()
+    | Some a ->
+        let ids = Array.make !n_committed 0 in
+        let k = ref 0 in
+        for i = 0 to w_use - 1 do
+          let t = Pending.get pending i in
+          if t.alive then begin
+            ids.(!k) <- t.id;
+            incr k
+          end
+        done;
+        Array.sort compare ids;
+        let fresh = Audit.end_round a ~round:!rounds ~inspected:w_use ~committed:ids in
+        if tracing then
+          List.iter
+            (fun (f : Audit.finding) ->
+              emit
+                (Obs.Audit_finding
+                   { round = f.Audit.round; rule = Audit.rule_name f.Audit.rule;
+                     task = f.Audit.task; other = f.Audit.other; lid = f.Audit.lid }))
+            fresh);
     let round_pushes = ref 0 in
     for w = 0 to threads - 1 do
       round_pushes := !round_pushes + Child_buffer.length child_buffers.(w);

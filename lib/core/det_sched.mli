@@ -53,6 +53,7 @@ type 'item boundary = {
 val run :
   ?record:bool ->
   ?sink:Obs.sink ->
+  ?audit:Audit.t ->
   ?checkpoint:int * ('item boundary -> unit) ->
   ?resume:'item boundary ->
   ?stop_after:int ->
@@ -76,6 +77,13 @@ val run :
     per-worker [Worker_counters]. Events are emitted from sequential
     sections only, and every field outside [Phase_time] / [Chunk_sized] /
     [Worker_counters] is deterministic. The sink is not closed.
+
+    [audit] attaches a dynamic determinism recorder ({!Audit}): worker
+    contexts record acquire/touch footprints on per-worker tapes, and
+    the sequential glue checks cautiousness, containment and
+    intra-round races after every round's selectAndExec, emitting a
+    deterministic [Obs.Audit_finding] per finding when tracing. Without
+    it, no recorder exists and the hot path is unchanged.
 
     [checkpoint:(k, f)] calls [f] with a fresh {!boundary} after every
     [k]-th round (from the sequential glue — [f] may serialize the items

@@ -91,6 +91,7 @@ let run ?(record = false) ?(sink = Obs.null) ?threads ~pool ~operator items =
     workers.(w).Stats.spins <- s1 - s0;
     workers.(w).Stats.parks <- p1 - p0
   done;
+  (* detlint: allow wall-clock — Obs.at_s is an absolute wall-clock timestamp; durations use Clock *)
   let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
   emit (Obs.Phase_time { round = 0; phase = Obs.Execute; dt_s = time_s });
   Array.iteri

@@ -12,6 +12,7 @@ type report = {
   stats : Stats.t;
   schedule : Schedule.t option;
   trace : Obs.stamped list option;
+  audit : Audit.report option;
 }
 
 (* Application world-state capture for cross-process resume. The state
@@ -43,6 +44,7 @@ type ('item, 'state) t = {
   on_checkpoint_ : ('item Snapshot.t -> unit) option;
   resume_ : 'item resume_src option;
   stop_after_ : int option;
+  audit_ : bool;
 }
 
 let make ~operator items =
@@ -62,6 +64,7 @@ let make ~operator items =
     on_checkpoint_ = None;
     resume_ = None;
     stop_after_ = None;
+    audit_ = false;
   }
 
 let policy p t = { t with policy_ = p }
@@ -84,6 +87,7 @@ let resume b t = { t with resume_ = Some (From_boundary b) }
 let resume_from path t = { t with resume_ = Some (From_file path) }
 let resume_from_bytes bytes t = { t with resume_ = Some (From_bytes bytes) }
 let stop_after r t = { t with stop_after_ = Some r }
+let audit t = { t with audit_ = true }
 
 let det_options_string t =
   match t.policy_ with
@@ -178,6 +182,7 @@ let exec t =
   in
   let tracing = not (Obs.Sink.is_null sink) in
   let emit event =
+    (* detlint: allow wall-clock — Obs.at_s is an absolute wall-clock timestamp; durations use Clock *)
     if tracing then sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event }
   in
   emit
@@ -194,10 +199,13 @@ let exec t =
     || Option.is_some t.resume_
     || Option.is_some t.stop_after_
   in
+  let audit_state = if t.audit_ then Some (Audit.create ()) else None in
   let stats, schedule =
     match t.policy_ with
     | (Policy.Serial | Policy.Nondet _) when replay_features ->
         invalid_arg "Galois.Run: checkpoint/resume requires a det policy"
+    | (Policy.Serial | Policy.Nondet _) when t.audit_ ->
+        invalid_arg "Galois.Run: audit requires a det policy"
     | Policy.Serial -> Serial_sched.run ~record:t.record_ ~sink ~operator:t.operator t.items
     | Policy.Nondet { threads } ->
         with_pool ?pool:t.pool_ threads (fun pool ->
@@ -207,7 +215,7 @@ let exec t =
         let checkpoint = checkpoint_hook t in
         let resume = resume_boundary t in
         with_pool ?pool:t.pool_ threads (fun pool ->
-            Det_sched.run ~record:t.record_ ~sink ?checkpoint ?resume
+            Det_sched.run ~record:t.record_ ~sink ?audit:audit_state ?checkpoint ?resume
               ?stop_after:t.stop_after_ ~threads ~pool ~options ~static_id:t.static_id_
               ~operator:t.operator t.items)
   in
@@ -220,4 +228,9 @@ let exec t =
        });
   (* User sinks are never closed here: they may span several runs. The
      capture buffer is ours and needs no closing. *)
-  { stats; schedule; trace = Option.map Obs.Memory.contents memory }
+  {
+    stats;
+    schedule;
+    trace = Option.map Obs.Memory.contents memory;
+    audit = Option.map Audit.report audit_state;
+  }

@@ -20,6 +20,7 @@ type report = {
   stats : Stats.t;
   schedule : Schedule.t option;  (** present iff {!record} was requested *)
   trace : Obs.stamped list option;  (** present iff {!trace} was requested *)
+  audit : Audit.report option;  (** present iff {!audit} was requested *)
 }
 
 type ('item, 'state) t
@@ -59,6 +60,14 @@ val trace : ('item, 'state) t -> ('item, 'state) t
 val opt : ('a -> ('i, 's) t -> ('i, 's) t) -> 'a option -> ('i, 's) t -> ('i, 's) t
 (** [opt f (Some v)] is [f v]; [opt f None] is the identity — for
     threading optional arguments through a builder chain. *)
+
+val audit : ('item, 'state) t -> ('item, 'state) t
+(** Enable the dynamic determinism audit ({!Audit}): record every
+    task's acquire/touch footprint and check cautiousness, containment
+    and intra-round races after each committed round, returning the
+    accumulated findings as [report.audit]. Requires a det policy
+    ({!exec} raises [Invalid_argument] otherwise). With auditing off no
+    recorder is allocated — the hot path is unchanged. *)
 
 (** {1 Checkpoint & replay}
 

@@ -9,6 +9,7 @@ type report = Run.report = {
   stats : Stats.t;
   schedule : Schedule.t option;
   trace : Obs.stamped list option;
+  audit : Audit.report option;
 }
 
 let for_each ?(policy = Policy.Serial) ?pool ?(record = false) ?static_id ?sink ~operator

@@ -40,6 +40,7 @@ let run ?(record = false) ?(sink = Obs.null) ~operator items =
     stats.committed <- stats.committed + 1
   done;
   let time_s = Clock.elapsed_s t0 in
+  (* detlint: allow wall-clock — Obs.at_s is an absolute wall-clock timestamp; durations use Clock *)
   let emit event = sink.Obs.emit { Obs.at_s = Unix.gettimeofday (); event } in
   emit (Obs.Phase_time { round = 0; phase = Obs.Execute; dt_s = time_s });
   emit

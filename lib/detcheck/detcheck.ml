@@ -507,6 +507,208 @@ module App_cases = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Cases for the dynamic neighborhood/race audit                       *)
+(* ------------------------------------------------------------------ *)
+
+module Audit_cases = struct
+  type t = {
+    name : string;
+    run : policy:Galois.Policy.t -> pool:Galois.Pool.t -> Galois.Audit.report;
+  }
+
+  let need = function
+    | Some a -> a
+    | None -> invalid_arg "Detcheck.Audit_cases: run produced no audit report"
+
+  (* Every Run-based benchmark under [Galois.Run.audit]. All of them are
+     cautious by construction, so the audit must come back clean; the
+     race check also re-verifies the scheduler's disjoint-neighborhood
+     invariant (acquires count as writes), which bites even though the
+     operators carry no [Context.touch] instrumentation. Worlds that the
+     operator mutates (mesh, flow network) are rebuilt per run. *)
+  let apps ~n ~points ~seed =
+    let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
+    let sym = Graphlib.Csr.symmetrize g in
+    let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
+    let uw = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 2) sym in
+    let pts = Geometry.Point.random_unit_square ~seed (max 4 points) in
+    let audit_of (report : Galois.Runtime.report) = need report.audit in
+    [
+      {
+        name = "bfs";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Bfs.galois ~audit:true ~policy ~pool g ~source:0)));
+      };
+      {
+        name = "sssp";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Sssp.galois ~audit:true ~policy ~pool g w ~source:0)));
+      };
+      {
+        name = "cc";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Cc.galois ~audit:true ~policy ~pool sym)));
+      };
+      {
+        name = "boruvka";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Boruvka.galois ~audit:true ~policy ~pool sym uw)));
+      };
+      {
+        name = "mis";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Mis.galois ~audit:true ~policy ~pool sym)));
+      };
+      {
+        name = "triangles";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Triangles.galois ~audit:true ~policy ~pool sym)));
+      };
+      {
+        name = "pagerank";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Pagerank.galois ~audit:true ~policy ~pool g)));
+      };
+      {
+        name = "dt";
+        run =
+          (fun ~policy ~pool ->
+            audit_of (snd (Apps.Dt.galois ~audit:true ~policy ~pool pts)));
+      };
+      {
+        name = "dmr";
+        run =
+          (fun ~policy ~pool ->
+            let mesh = Apps.Dt.serial pts in
+            audit_of (Apps.Dmr.galois ~audit:true ~policy ~pool mesh));
+      };
+      {
+        name = "pfp";
+        run =
+          (fun ~policy ~pool ->
+            let fg, caps, source, sink =
+              Graphlib.Generators.flow_network ~seed:(seed + 3) ~n ~k:4 ()
+            in
+            let net = Apps.Flow_network.of_graph fg caps ~source ~sink in
+            need (Apps.Pfp.galois ~audit:true ~policy ~pool net).Apps.Pfp.audit);
+      };
+    ]
+
+  (* Positive controls: deliberately broken operators proving the audit
+     can fail at all, with findings localized to (rule, round, task). *)
+
+  type control = {
+    cname : string;
+    crun :
+      policy:Galois.Policy.t ->
+      pool:Galois.Pool.t ->
+      Galois.Audit.report * Galois.Audit.finding list;
+        (** (report, witnesses): every witness finding must appear
+            verbatim in the report. *)
+  }
+
+  (* Pin the first-round window wide enough that all initial tasks of a
+     control are inspected in round 1, independent of the adaptive
+     task-count-derived default — the race control needs its two tasks
+     in the same round to conflict. *)
+  let widen policy =
+    match policy with
+    | Galois.Policy.Det { threads; options } ->
+        Galois.Policy.Det
+          {
+            threads;
+            options = Galois.Policy.Det_options.with_window (Some 8) options;
+          }
+    | p -> p
+
+  (* BFS whose distance write lands while the neighborhood is still
+     growing — before the failsafe point — violating cautiousness (§2):
+     a defeated task would leave the write behind. The initial task is
+     alone in round 1, so the audit must pin (cautiousness, round 1,
+     task 1) on the source node's location. *)
+  let non_cautious_bfs ~n ~seed =
+    let g = Graphlib.Generators.kout ~seed ~n ~k:3 () in
+    let crun ~policy ~pool =
+      let nn = Graphlib.Csr.nodes g in
+      let locks = Galois.Lock.create_array nn in
+      let dist = Array.make nn max_int in
+      let operator ctx (u, d) =
+        Galois.Context.acquire ctx locks.(u);
+        if dist.(u) <= d then ()
+        else begin
+          dist.(u) <- d;
+          Galois.Context.touch ctx locks.(u);
+          Graphlib.Csr.iter_succ g u (fun v -> Galois.Context.acquire ctx locks.(v));
+          Galois.Context.failsafe ctx;
+          Graphlib.Csr.iter_succ g u (fun v ->
+              if dist.(v) > d + 1 then Galois.Context.push ctx (v, d + 1))
+        end
+      in
+      let report =
+        Galois.Run.make ~operator [| (0, 0) |]
+        |> Galois.Run.policy (widen policy)
+        |> Galois.Run.pool pool
+        |> Galois.Run.audit
+        |> Galois.Run.exec
+      in
+      ( need report.audit,
+        [
+          {
+            Galois.Audit.rule = Galois.Audit.Cautiousness;
+            round = 1;
+            task = 1;
+            other = 0;
+            lid = Galois.Lock.id locks.(0);
+          };
+        ] )
+    in
+    { cname = Printf.sprintf "non-cautious-bfs(n=%d,seed=%d)" n seed; crun }
+
+  (* Two relaxation tasks that each acquire only their own node and then
+     both write the shared sink's label without ever acquiring it: a
+     containment escape on each task and a write/write race between
+     them, all in round 1 (neighborhoods are disjoint, so the scheduler
+     happily commits both). *)
+  let racy_sssp () =
+    let crun ~policy ~pool =
+      let g = Graphlib.Csr.of_edges ~n:3 [| (0, 2); (1, 2) |] in
+      let locks = Galois.Lock.create_array 3 in
+      let dist = Array.make 3 max_int in
+      let operator ctx u =
+        Galois.Context.acquire ctx locks.(u);
+        Galois.Context.failsafe ctx;
+        Graphlib.Csr.iter_succ g u (fun v ->
+            dist.(v) <- min dist.(v) (u + 1);
+            Galois.Context.touch ctx locks.(v))
+      in
+      let report =
+        Galois.Run.make ~operator [| 0; 1 |]
+        |> Galois.Run.policy (widen policy)
+        |> Galois.Run.pool pool
+        |> Galois.Run.audit
+        |> Galois.Run.exec
+      in
+      let lid = Galois.Lock.id locks.(2) in
+      ( need report.audit,
+        [
+          { Galois.Audit.rule = Galois.Audit.Containment; round = 1; task = 1; other = 0; lid };
+          { Galois.Audit.rule = Galois.Audit.Containment; round = 1; task = 2; other = 0; lid };
+          { Galois.Audit.rule = Galois.Audit.Race; round = 1; task = 2; other = 1; lid };
+        ] )
+    in
+    { cname = "racy-sssp"; crun }
+
+  let controls ~n ~seed = [ non_cautious_bfs ~n ~seed; racy_sssp () ]
+end
+
+(* ------------------------------------------------------------------ *)
 (* Cases for the checkpoint/replay harness                             *)
 (* ------------------------------------------------------------------ *)
 

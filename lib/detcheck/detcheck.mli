@@ -149,6 +149,46 @@ module App_cases : sig
       digest). *)
 end
 
+(** Cases for the dynamic neighborhood/race audit ({!Galois.Run.audit}).
+
+    {!Audit_cases.apps} runs every Run-based benchmark with auditing on:
+    all are cautious by construction, so {!Galois.Audit.clean} must hold
+    on each report (the race check also re-verifies the scheduler's
+    disjoint-neighborhood invariant, since acquires count as writes).
+    {!Audit_cases.controls} are deliberately broken operators — the
+    audit's positive controls — each returning witness findings that
+    must appear verbatim in its report. *)
+module Audit_cases : sig
+  type t = {
+    name : string;
+    run : policy:Galois.Policy.t -> pool:Galois.Pool.t -> Galois.Audit.report;
+  }
+
+  val apps : n:int -> points:int -> seed:int -> t list
+  (** The ten Run-based benchmarks (bfs, sssp, cc, boruvka, mis,
+      triangles, pagerank, dt, dmr, pfp), worlds rebuilt per run where
+      the operator mutates them. *)
+
+  type control = {
+    cname : string;
+    crun :
+      policy:Galois.Policy.t ->
+      pool:Galois.Pool.t ->
+      Galois.Audit.report * Galois.Audit.finding list;
+  }
+
+  val non_cautious_bfs : n:int -> seed:int -> control
+  (** BFS whose distance write precedes the failsafe point: flagged as
+      (cautiousness, round 1, task 1) on the source node's location. *)
+
+  val racy_sssp : unit -> control
+  (** Two tasks with disjoint neighborhoods both writing an unacquired
+      shared location: two containment findings plus one write/write
+      race, all in round 1. *)
+
+  val controls : n:int -> seed:int -> control list
+end
+
 (** Cases for the checkpoint/replay harness (lib/replay, test_replay):
     instead of executing internally, each case hands out its unexecuted
     run description so the harness can checkpoint / crash / resume it.

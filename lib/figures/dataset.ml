@@ -96,7 +96,8 @@ let collect_pfp pool (s : Scale.t) =
     let result = Apps.Pfp.galois ~record:true ~policy ~pool net in
     { Galois.Runtime.stats = result.Apps.Pfp.stats;
       schedule = result.Apps.Pfp.schedule;
-      trace = None }
+      trace = None;
+      audit = None }
   in
   let serial = run Galois.Policy.serial in
   let nondet = run nondet_policy in

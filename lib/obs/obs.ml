@@ -36,6 +36,7 @@ type event =
     }
   | Checkpoint_taken of { round : int; digest : string }
   | Resumed of { round : int; digest : string }
+  | Audit_finding of { round : int; rule : string; task : int; other : int; lid : int }
   | Run_end of { commits : int; rounds : int; generations : int }
 
 type stamped = { at_s : float; event : event }
@@ -44,7 +45,7 @@ let deterministic = function
   | Run_begin _ | Phase_time _ | Chunk_sized _ | Worker_counters _ -> false
   | Generation_begin _ | Round_begin _ | Inspect_done _ | Select_done _
   | Execute_done _ | Window_adapted _ | Checkpoint_taken _ | Resumed _
-  | Run_end _ ->
+  | Audit_finding _ | Run_end _ ->
       true
 
 let pp_event ppf = function
@@ -81,6 +82,9 @@ let pp_event ppf = function
   | Checkpoint_taken { round; digest } ->
       Fmt.pf ppf "checkpoint-taken round=%d digest=%s" round digest
   | Resumed { round; digest } -> Fmt.pf ppf "resumed round=%d digest=%s" round digest
+  | Audit_finding { round; rule; task; other; lid } ->
+      Fmt.pf ppf "audit-finding round=%d rule=%s task=%d other=%d lid=%d" round rule
+        task other lid
   | Run_end { commits; rounds; generations } ->
       Fmt.pf ppf "run-end commits=%d rounds=%d generations=%d" commits rounds
         generations
@@ -238,6 +242,10 @@ module Jsonl = struct
         ("checkpoint_taken", [ ("round", I round); ("digest", S digest) ])
     | Resumed { round; digest } ->
         ("resumed", [ ("round", I round); ("digest", S digest) ])
+    | Audit_finding { round; rule; task; other; lid } ->
+        ("audit_finding",
+         [ ("round", I round); ("rule", S rule); ("task", I task);
+           ("other", I other); ("lid", I lid) ])
     | Run_end { commits; rounds; generations } ->
         ("run_end",
          [ ("commits", I commits); ("rounds", I rounds);
@@ -474,6 +482,11 @@ module Jsonl = struct
           { round = get_int fs "round"; digest = get_string fs "digest" }
     | "resumed" ->
         Resumed { round = get_int fs "round"; digest = get_string fs "digest" }
+    | "audit_finding" ->
+        Audit_finding
+          { round = get_int fs "round"; rule = get_string fs "rule";
+            task = get_int fs "task"; other = get_int fs "other";
+            lid = get_int fs "lid" }
     | "run_end" ->
         Run_end
           { commits = get_int fs "commits"; rounds = get_int fs "rounds";

@@ -82,6 +82,13 @@ type event =
       (** The scheduler restarted from a round-boundary snapshot taken
           after [round] and will replay round [round + 1] next. Emitted
           only on resume. *)
+  | Audit_finding of { round : int; rule : string; task : int; other : int; lid : int }
+      (** The dynamic determinism audit ([Run.audit]) flagged task
+          [task] in [round]: [rule] is ["containment"],
+          ["cautiousness"] or ["race"] (see [Galois.Audit]); [other] is
+          the race partner's task id (0 otherwise); [lid] the location.
+          Deterministic given a fixed location-id namespace
+          ([Lock.reset_lids]). *)
   | Run_end of { commits : int; rounds : int; generations : int }
       (** Last event of a run. *)
 

@@ -220,6 +220,27 @@ let test_freqmine_deterministic () =
           let b, _ = Apps.Freqmine.run ~pool:p3 () in
           check_int "same itemset count across thread counts" a b))
 
+(* Regression for the order-dependence bug detlint found: [mine] used to
+   gather frequent items with [Hashtbl.fold], so the recursion order —
+   and on another stdlib's bucket layout, potentially the count — hung
+   off hash internals. The frequent list is now pinned by item id, and
+   these exact totals pin it in place. *)
+let test_freqmine_pinned_output () =
+  Parallel.Domain_pool.with_pool 2 (fun pool ->
+      let total, _ = Apps.Freqmine.run ~pool () in
+      check_int "default-config itemset count pinned" 2878 total;
+      let config =
+        {
+          Apps.Freqmine.default_config with
+          transactions = 500;
+          items = 60;
+          min_support = 12;
+          seed = 5;
+        }
+      in
+      let small, _ = Apps.Freqmine.run ~config ~pool () in
+      check_int "small-config itemset count pinned" 1845 small)
+
 let suite =
   [
     Alcotest.test_case "bfs: all variants agree" `Quick test_bfs_all_variants_agree;
@@ -237,4 +258,6 @@ let suite =
     Alcotest.test_case "bodytrack particle filter" `Quick test_bodytrack;
     Alcotest.test_case "freqmine fp-growth" `Quick test_freqmine;
     Alcotest.test_case "freqmine deterministic" `Quick test_freqmine_deterministic;
+    Alcotest.test_case "freqmine output pinned (order-independence)" `Quick
+      test_freqmine_pinned_output;
   ]

@@ -1,6 +1,7 @@
 (* Edge cases of the core runtime: empty pools, single tasks, scheduler
    option matrices, pool handling, stats algebra, schedule accessors. *)
 
+[@@@alert "-deprecated"] (* exercises the deprecated [Runtime.for_each] alias on purpose *)
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 

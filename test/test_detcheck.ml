@@ -8,6 +8,7 @@
      are thread-invariant and seed-sensitive;
    - generated cases are pure functions of their seed. *)
 
+[@@@alert "-deprecated"] (* exercises the deprecated [Runtime.for_each] alias on purpose *)
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 

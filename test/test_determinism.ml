@@ -8,6 +8,7 @@
    - determinism holds for arbitrary (randomly generated) conflict
      structures, including dynamically created tasks. *)
 
+[@@@alert "-deprecated"] (* exercises the deprecated [Runtime.for_each] alias on purpose *)
 let check_int = Alcotest.(check int)
 
 (* A task universe with random neighborhoods: task i acquires a set of

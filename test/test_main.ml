@@ -21,6 +21,8 @@ let () =
       ("detreserve", Test_detreserve.suite);
       ("apps", Test_apps.suite);
       ("apps2", Test_apps2.suite);
+      ("audit", Test_audit.suite);
+      ("detlint", Test_detlint.suite);
       ("simmachine", Test_simmachine.suite);
       ("analysis", Test_analysis.suite);
       ("figures", Test_figures.suite);

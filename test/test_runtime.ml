@@ -1,5 +1,6 @@
 (* End-to-end tests of the runtime on small synthetic Galois programs. *)
 
+[@@@alert "-deprecated"] (* keeps covering the deprecated [Runtime.for_each] alias alongside [Run] *)
 let check_int = Alcotest.(check int)
 
 (* --- Bucket-append program: n tasks, task i appends i to bucket

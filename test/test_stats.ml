@@ -1,6 +1,7 @@
 (* Stats algebra edge cases: the zero element, heterogeneous merges,
    abort-ratio corner cases, and the digest field's monoid behavior. *)
 
+[@@@alert "-deprecated"] (* exercises the deprecated [Runtime.for_each] alias on purpose *)
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
