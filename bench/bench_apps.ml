@@ -25,6 +25,13 @@
      bench_apps --threads T              timing-pass threads (default 4)
      bench_apps --apps bfs,sssp,...      subset (default the four apps
                                          plus the serve service case)
+     bench_apps --large                  also run the paper-scale tier
+                                         (bfs_large / sssp_large on a
+                                         million-vertex R-MAT graph)
+     bench_apps --cachesim               replay a recorded bfs schedule
+                                         against the boxed-8B and
+                                         compact CSR layout models and
+                                         print both cache summaries
      bench_apps --smoke                  tiny inputs, then re-load and
                                          validate every emitted file
                                          (JSON parses, phases sum to
@@ -34,12 +41,13 @@
 type app_case = {
   name : string;
   size : int;
-  (* Build the input (unmeasured) and return the closure that runs the
-     Galois program under a policy on a shared pool. A fresh prepare per
-     pass: dmr mutates its mesh in place. *)
+  (* Build the input (timed into build_s) and return the closure that
+     runs the Galois program under a policy on a shared pool, plus the
+     off-heap bytes of the graph input (0 when there is none). A fresh
+     prepare per pass: dmr mutates its mesh in place. *)
   prepare :
     seed:int -> size:int ->
-    (pool:Galois.Pool.t -> Galois.Policy.t -> Galois.Runtime.report);
+    (pool:Galois.Pool.t -> Galois.Policy.t -> Galois.Runtime.report) * int;
 }
 
 let seed = 2014
@@ -53,7 +61,8 @@ let cases ~tiny =
       prepare =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
-          fun ~pool policy -> snd (Apps.Bfs.galois ~pool ~policy g ~source:0));
+          ( (fun ~pool policy -> snd (Apps.Bfs.galois ~pool ~policy g ~source:0)),
+            Graphlib.Csr.memory_bytes g ));
     };
     {
       name = "sssp";
@@ -62,7 +71,8 @@ let cases ~tiny =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
           let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
-          fun ~pool policy -> snd (Apps.Sssp.galois ~pool ~policy g w ~source:0));
+          ( (fun ~pool policy -> snd (Apps.Sssp.galois ~pool ~policy g w ~source:0)),
+            Graphlib.Csr.memory_bytes g ));
     };
     {
       name = "boruvka";
@@ -71,7 +81,8 @@ let cases ~tiny =
         (fun ~seed ~size ->
           let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:4 ()) in
           let w = Graphlib.Graph_io.undirected_random_weights ~seed:(seed + 1) g in
-          fun ~pool policy -> snd (Apps.Boruvka.galois ~pool ~policy g w));
+          ( (fun ~pool policy -> snd (Apps.Boruvka.galois ~pool ~policy g w)),
+            Graphlib.Csr.memory_bytes g ));
     };
     {
       name = "dmr";
@@ -80,7 +91,44 @@ let cases ~tiny =
         (fun ~seed ~size ->
           let pts = Geometry.Point.random_unit_square ~seed size in
           let mesh = Apps.Dt.serial pts in
-          fun ~pool policy -> Apps.Dmr.galois ~pool ~policy mesh);
+          ((fun ~pool policy -> Apps.Dmr.galois ~pool ~policy mesh), 0));
+    };
+  ]
+
+(* The paper-scale tier (opt-in via --large): million-vertex R-MAT
+   inputs streamed straight into the off-heap CSR. bfs_large runs on
+   the unweighted scale-20 graph (2^20 nodes, 8·2^20 edges); sssp_large
+   runs on a scale-18 graph with a weight plane attached, exercising
+   the [Sssp.galois_weighted] path that reads weights from the plane.
+   Sizes are the node counts, so the records slot into the same schema;
+   distinct names give them their own BENCH_<app>.json baselines. *)
+let large_cases =
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+  in
+  [
+    {
+      name = "bfs_large";
+      size = 1 lsl 20;
+      prepare =
+        (fun ~seed ~size ->
+          let g = Graphlib.Generators.rmat ~seed ~scale:(log2 size) ~edge_factor:8 () in
+          ( (fun ~pool policy -> snd (Apps.Bfs.galois ~pool ~policy g ~source:0)),
+            Graphlib.Csr.memory_bytes g ));
+    };
+    {
+      name = "sssp_large";
+      size = 1 lsl 18;
+      prepare =
+        (fun ~seed ~size ->
+          let g = Graphlib.Generators.rmat ~seed ~scale:(log2 size) ~edge_factor:8 () in
+          let g =
+            Graphlib.Graph_io.attach_random_weights ~seed:(seed + 1) ~max_weight:100 g
+          in
+          ( (fun ~pool policy ->
+              snd (Apps.Sssp.galois_weighted ~pool ~policy g ~source:0)),
+            Graphlib.Csr.memory_bytes g ));
     };
   ]
 
@@ -91,14 +139,16 @@ let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
   (* Timing pass on the shared pool: the measured interval excludes
      domain spawn/teardown, which the persistent pools pay once for the
      whole bench session. *)
-  let exec = prepare ~seed ~size in
+  let tb = Galois.Clock.now_s () in
+  let exec, graph_bytes = prepare ~seed ~size in
+  let build_s = Galois.Clock.elapsed_s tb in
   let timing_policy = Galois.Policy.det threads in
   let t0 = Galois.Clock.now_s () in
   let timing = exec ~pool:timing_pool timing_policy in
   let wall_s = Galois.Clock.elapsed_s t0 in
   (* Allocation pass: single domain, GC deltas around the run only. *)
   Galois.Lock.reset_lids ();
-  let exec1 = prepare ~seed ~size in
+  let exec1, _ = prepare ~seed ~size in
   Gc.full_major ();
   let g0 = Gc.quick_stat () in
   let alloc = exec1 ~pool:alloc_pool (Galois.Policy.det 1) in
@@ -115,6 +165,8 @@ let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
     policy = Galois.Policy.to_string timing_policy;
     size;
     seed;
+    build_s;
+    graph_bytes;
     wall_s;
     inspect_s = stats.phases.Galois.Stats.inspect_s;
     select_s = stats.phases.select_s;
@@ -158,7 +210,10 @@ let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
 let bench_serve ~threads ~timing_pool ~alloc_pool ~nodes ~requests ~batch =
   let run_pass ~pool ~threads =
     Galois.Lock.reset_lids ();
+    let tb = Galois.Clock.now_s () in
     let catalog = Service.Catalog.synthetic ~seed ~nodes () in
+    let build_s = Galois.Clock.elapsed_s tb in
+    let graph_bytes = Service.Catalog.total_graph_bytes catalog in
     let queries = Detcheck.Service_case.queries ~seed ~nodes ~count:requests in
     let server = Service.Server.create ~threads ~catalog pool in
     let t0 = Galois.Clock.now_s () in
@@ -171,12 +226,12 @@ let bench_serve ~threads ~timing_pool ~alloc_pool ~nodes ~requests ~batch =
       queries;
     ignore (Service.Server.drain server);
     let wall_s = Galois.Clock.elapsed_s t0 in
-    (server, wall_s)
+    (server, wall_s, build_s, graph_bytes)
   in
-  let timing, wall_s = run_pass ~pool:timing_pool ~threads in
+  let timing, wall_s, build_s, graph_bytes = run_pass ~pool:timing_pool ~threads in
   Gc.full_major ();
   let g0 = Gc.quick_stat () in
-  let alloc, _ = run_pass ~pool:alloc_pool ~threads:1 in
+  let alloc, _, _, _ = run_pass ~pool:alloc_pool ~threads:1 in
   let g1 = Gc.quick_stat () in
   if
     not
@@ -207,6 +262,8 @@ let bench_serve ~threads ~timing_pool ~alloc_pool ~nodes ~requests ~batch =
     policy = Galois.Policy.to_string (Galois.Policy.det threads);
     size = nodes;
     seed;
+    build_s;
+    graph_bytes;
     wall_s;
     (* The server's wall time spans many runs plus admission bookkeeping;
        the per-phase split is not meaningful at this level, so everything
@@ -249,6 +306,10 @@ let validate_file path =
       else if r.commits <= 0 then Error (Printf.sprintf "%s: no commits recorded" path)
       else if r.spins < 0 || r.parks < 0 then
         Error (Printf.sprintf "%s: negative sync counters (spins=%d parks=%d)" path r.spins r.parks)
+      else if r.build_s < 0.0 || r.graph_bytes < 0 then
+        Error
+          (Printf.sprintf "%s: negative input metrics (build_s=%g graph_bytes=%d)"
+             path r.build_s r.graph_bytes)
       else if
         (* rounds_per_s must be what the record's own rounds and wall
            time imply (same guard against a stale field as
@@ -301,6 +362,7 @@ let () =
   let out = ref "." and scale = ref "small" and threads = ref 4 in
   let apps = ref [ "bfs"; "sssp"; "boruvka"; "dmr"; "serve" ] in
   let compare_dir = ref None and smoke = ref false in
+  let large = ref false and cachesim = ref false in
   let rec parse = function
     | [] -> ()
     | "--out" :: d :: rest ->
@@ -318,6 +380,12 @@ let () =
     | "--compare" :: d :: rest ->
         compare_dir := Some d;
         parse rest
+    | "--large" :: rest ->
+        large := true;
+        parse rest
+    | "--cachesim" :: rest ->
+        cachesim := true;
+        parse rest
     | "--smoke" :: rest ->
         smoke := true;
         scale := "tiny";
@@ -325,6 +393,14 @@ let () =
     | arg :: _ -> Fmt.failwith "bench_apps: unknown argument %S" arg
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !large then apps := !apps @ List.map (fun c -> c.name) large_cases;
+  (* Keep first occurrences: --apps bfs_large --large must not run the
+     case twice. *)
+  apps :=
+    List.rev
+      (List.fold_left
+         (fun acc a -> if List.mem a acc then acc else a :: acc)
+         [] !apps);
   let tiny =
     match !scale with
     | "tiny" -> true
@@ -343,7 +419,7 @@ let () =
       bench_serve ~threads:!threads ~nodes:serve_nodes ~requests:serve_requests
         ~batch:serve_batch
     else
-      match List.find_opt (fun c -> c.name = name) (cases ~tiny) with
+      match List.find_opt (fun c -> c.name = name) (cases ~tiny @ large_cases) with
       | Some c -> bench_case ~threads:!threads c
       | None -> fun ~timing_pool:_ ~alloc_pool:_ -> Fmt.failwith "bench_apps: unknown app %S" name
   in
@@ -363,6 +439,32 @@ let () =
                 r)
               !apps))
   in
+  (* Layout validation: replay a *recorded* bfs schedule against the
+     byte-accurate cache model of the old boxed 8B-per-entry substrate
+     and of the compact plane's own width. Same access stream, same
+     cache — the delta is purely what the narrower layout buys. *)
+  if !cachesim then begin
+    let n = if tiny then 2_000 else 20_000 in
+    let g = Graphlib.Generators.kout ~seed ~n ~k:5 () in
+    (* Re-base lock ids so the recorded lids are exactly the node ids
+       the layout model maps onto plane addresses. *)
+    Galois.Lock.reset_lids ();
+    let _, report =
+      Apps.Bfs.galois ~record:true ~policy:(Galois.Policy.det 1) g ~source:0
+    in
+    match report.Galois.Runtime.schedule with
+    | None -> Fmt.failwith "bench_apps: --cachesim run recorded no schedule"
+    | Some sched ->
+        let boxed, compact = Cachesim.Layout.compare_layouts g sched in
+        Fmt.pr "@.cachesim: recorded det bfs on kout n=%d (m=%d)@." n
+          (Graphlib.Csr.edges g);
+        Fmt.pr "  %a@." Cachesim.Layout.pp_summary boxed;
+        Fmt.pr "  %a@." Cachesim.Layout.pp_summary compact;
+        Fmt.pr "  hit-rate %+.4f, misses %d -> %d, lines %d -> %d@."
+          (Cachesim.Layout.hit_rate compact -. Cachesim.Layout.hit_rate boxed)
+          boxed.Cachesim.Layout.misses compact.Cachesim.Layout.misses
+          boxed.Cachesim.Layout.lines_touched compact.Cachesim.Layout.lines_touched
+  end;
   let failures = ref 0 in
   if !smoke then
     List.iter

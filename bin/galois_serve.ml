@@ -83,6 +83,8 @@ let run nodes seed requests batch domains threads max_pending trace out verbose 
               policy = Galois.Policy.to_string (Galois.Policy.det threads);
               size = nodes;
               seed;
+              build_s = 0.0;
+              graph_bytes = Service.Catalog.total_graph_bytes catalog;
               wall_s;
               inspect_s = 0.0;
               select_s = 0.0;

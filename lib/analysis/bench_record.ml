@@ -19,6 +19,8 @@ type t = {
   policy : string;  (* policy of the timing run, e.g. "det:4" *)
   size : int;  (* input size (nodes / points, app-dependent) *)
   seed : int;
+  build_s : float;  (* input-construction time (graph build); 0 when n/a *)
+  graph_bytes : int;  (* off-heap bytes of the input graph; 0 when n/a *)
   wall_s : float;  (* wall time of the timing run *)
   inspect_s : float;  (* per-phase breakdown of the timing run *)
   select_s : float;
@@ -71,6 +73,8 @@ let fields t =
     ("policy", S t.policy);
     ("size", I t.size);
     ("seed", I t.seed);
+    ("build_s", F t.build_s);
+    ("graph_bytes", I t.graph_bytes);
     ("wall_s", F t.wall_s);
     ("inspect_s", F t.inspect_s);
     ("select_s", F t.select_s);
@@ -275,6 +279,8 @@ let of_json text =
         policy = get_string fs "policy";
         size = get_int fs "size";
         seed = get_int fs "seed";
+        build_s = get_float fs "build_s";
+        graph_bytes = get_int fs "graph_bytes";
         wall_s = get_float fs "wall_s";
         inspect_s = get_float fs "inspect_s";
         select_s = get_float fs "select_s";
@@ -351,6 +357,9 @@ let compare_to ~baseline current =
     d "atomics_per_commit" baseline.atomics_per_commit current.atomics_per_commit;
     d "queries_per_s" baseline.queries_per_s current.queries_per_s;
     d "p99_latency_s" baseline.p99_latency_s current.p99_latency_s;
+    d "build_s" baseline.build_s current.build_s;
+    d "graph_bytes" (float_of_int baseline.graph_bytes)
+      (float_of_int current.graph_bytes);
   ]
 
 let pp_delta ppf d =

@@ -12,6 +12,12 @@ type t = {
   policy : string;  (** policy of the timing run, e.g. ["det:4"] *)
   size : int;
   seed : int;
+  build_s : float;
+      (** time to construct the input (graph generation / symmetrization);
+          [0.0] when the case has no graph build phase *)
+  graph_bytes : int;
+      (** off-heap bytes held by the input graph's CSR planes; [0] when
+          the case has no graph input *)
   wall_s : float;
   inspect_s : float;
   select_s : float;
@@ -80,8 +86,8 @@ type delta = {
 val compare_to : baseline:t -> t -> delta list
 (** Deltas for the tracked metrics (wall time, phase times, minor
     allocation, minor words per committed task, rounds per second,
-    atomics per commit, queries per second, p99 latency), in that
-    order. Everything after minor words per commit is report-only: no
-    regression gate keys off it. *)
+    atomics per commit, queries per second, p99 latency, build time,
+    graph bytes), in that order. Everything after minor words per
+    commit is report-only: no regression gate keys off it. *)
 
 val pp_delta : Format.formatter -> delta -> unit

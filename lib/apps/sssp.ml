@@ -8,10 +8,12 @@ module Csr = Graphlib.Csr
 let unreached = max_int
 
 (* Unexecuted run description + world, like [Bfs.plan]: the distance
-   array is the entire mutable state, so the snapshot hook copies it. *)
-let plan g weights ~source =
-  if Array.length weights <> Csr.edges g then
-    invalid_arg "Sssp.galois: weight array size mismatch";
+   array is the entire mutable state, so the snapshot hook copies it.
+   [weight] abstracts where the per-edge weight lives — a heap array or
+   the CSR's own off-heap weight plane; the task stream (and therefore
+   the schedule digest) depends only on the weight values, so both
+   sources produce byte-identical schedules. *)
+let plan_with ~weight g ~source =
   let n = Csr.nodes g in
   let locks = Galois.Lock.create_array n in
   let dist = Array.make n unreached in
@@ -24,7 +26,7 @@ let plan g weights ~source =
       Galois.Context.failsafe ctx;
       dist.(u) <- d;
       Csr.iter_succ_edges g u (fun e v ->
-          let nd = d + weights.(e) in
+          let nd = d + weight e in
           if dist.(v) > nd then Galois.Context.push ctx (v, nd))
     end
   in
@@ -37,8 +39,18 @@ let plan g weights ~source =
   in
   (run, dist)
 
-let galois ?record ?audit ?sink ~policy ?pool g weights ~source =
-  let run, dist = plan g weights ~source in
+let plan g weights ~source =
+  if Array.length weights <> Csr.edges g then
+    invalid_arg "Sssp.galois: weight array size mismatch";
+  plan_with ~weight:(fun e -> weights.(e)) g ~source
+
+(* The run description over the graph's own weight plane (no heap-side
+   weight array at all). *)
+let plan_weighted g ~source =
+  if not (Csr.weighted g) then invalid_arg "Sssp.galois_weighted: graph has no weight plane";
+  plan_with ~weight:(fun e -> Csr.unsafe_weight g e) g ~source
+
+let exec_plan ?record ?audit ?sink ~policy ?pool (run, dist) =
   let report =
     run
     |> Galois.Run.policy policy
@@ -49,6 +61,12 @@ let galois ?record ?audit ?sink ~policy ?pool g weights ~source =
     |> Galois.Run.exec
   in
   (dist, report)
+
+let galois_weighted ?record ?audit ?sink ~policy ?pool g ~source =
+  exec_plan ?record ?audit ?sink ~policy ?pool (plan_weighted g ~source)
+
+let galois ?record ?audit ?sink ~policy ?pool g weights ~source =
+  exec_plan ?record ?audit ?sink ~policy ?pool (plan g weights ~source)
 
 (* Dijkstra with a simple pairing of (dist, node) in a sorted module-less
    binary heap. *)

@@ -1,18 +1,37 @@
-(* Plain-text graph serialization: one "u v [w]" edge per line, '#'
-   comments, first non-comment line "n m". Deterministic round-trip. *)
+(* Graph serialization.
+
+   Two formats, both deterministic round-trips:
+
+   - Plain text: one "u v [w]" edge per line, '#' comments, first
+     non-comment line "n m". Human-greppable, used by tests and small
+     exchanges.
+
+   - Binary "GCSR1": magic, a fixed header (node/edge counts and the
+     byte width of each plane), the raw offsets/targets/weights planes
+     little-endian, and an FNV-1a-64 checksum trailer over everything
+     before it. Loads are checksum-verified and then re-validated
+     against the CSR structural invariants, so truncation, bit flips
+     and header tampering are all rejected with a reason. This is the
+     format the service catalog and the bench harness load
+     million-vertex inputs from: no parsing, no intermediate lists,
+     straight into off-heap planes. *)
+
+let parse_error line what = failwith (Printf.sprintf "Graph_io: line %d: %s" line what)
+
+(* ------------------------------------------------------------------ *)
+(* Text format                                                         *)
+(* ------------------------------------------------------------------ *)
 
 let write_edges oc g =
   Printf.fprintf oc "# deterministic_galois edge list\n";
   Printf.fprintf oc "%d %d\n" (Csr.nodes g) (Csr.edges g);
-  for u = 0 to Csr.nodes g - 1 do
-    Csr.iter_succ g u (fun v -> Printf.fprintf oc "%d %d\n" u v)
-  done
+  if Csr.weighted g then
+    Csr.iter_edges_i g (fun e u v -> Printf.fprintf oc "%d %d %d\n" u v (Csr.weight g e))
+  else Csr.iter_edges g (fun u v -> Printf.fprintf oc "%d %d\n" u v)
 
 let save_edges path g =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_edges oc g)
-
-let parse_error line what = failwith (Printf.sprintf "Graph_io: line %d: %s" line what)
 
 let read_edges ic =
   let lineno = ref 0 in
@@ -38,36 +57,237 @@ let read_edges ic =
     | _ -> parse_error !lineno "bad header"
   in
   let edges = Array.make m (0, 0) in
+  let weights = ref None in
   for i = 0 to m - 1 do
     match next_line () with
     | None -> parse_error !lineno "unexpected end of file"
     | Some l -> (
         match List.filter (fun s -> s <> "") (String.split_on_char ' ' l) with
-        | u :: v :: _ -> (
-            match (int_of_string_opt u, int_of_string_opt v) with
+        | u :: v :: rest -> (
+            (match (int_of_string_opt u, int_of_string_opt v) with
             | Some u, Some v -> edges.(i) <- (u, v)
-            | _ -> parse_error !lineno "bad edge")
+            | _ -> parse_error !lineno "bad edge");
+            match rest with
+            | [] ->
+                if !weights <> None then parse_error !lineno "missing weight column"
+            | w :: _ -> (
+                (* The first edge line fixes whether the file is
+                   weighted; after that the column is mandatory. *)
+                match int_of_string_opt w with
+                | Some w when w >= 0 ->
+                    let ws =
+                      match !weights with
+                      | Some ws -> ws
+                      | None ->
+                          if i > 0 then parse_error !lineno "unexpected weight column"
+                          else begin
+                            let ws = Array.make m 0 in
+                            weights := Some ws;
+                            ws
+                          end
+                    in
+                    ws.(i) <- w
+                | _ -> parse_error !lineno "bad weight"))
         | _ -> parse_error !lineno "bad edge")
   done;
-  Csr.of_edges ~n edges
+  let g = Csr.of_edges ~n edges in
+  match !weights with
+  | None -> g
+  | Some ws ->
+      (* Weights arrived in input edge order; the counting sort is
+         stable, so re-sorting them alongside the edges keeps each
+         weight attached to its edge. *)
+      let b = Csr.Builder.create ~capacity:m ~n () in
+      Array.iteri (fun i (u, v) -> Csr.Builder.add_weighted_edge b u v ws.(i)) edges;
+      Csr.Builder.build b
 
 let load_edges path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_edges ic)
+
+(* ------------------------------------------------------------------ *)
+(* Binary format                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "GCSR1\n"
+
+(* FNV-1a over bytes in Int64 (the checksum must not depend on OCaml's
+   63-bit int). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_bytes h bytes len =
+  let h = ref h in
+  for i = 0 to len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get bytes i)))) fnv_prime
+  done;
+  !h
+
+let chunk_size = 65536
+
+(* Encode [len] plane values of width [w] bytes through a chunk buffer,
+   feeding each flushed chunk to [emit]. *)
+let stream_plane ~emit plane =
+  let w = Plane.bytes_per_value plane in
+  let len = Plane.length plane in
+  let buf = Bytes.create chunk_size in
+  let pos = ref 0 in
+  for i = 0 to len - 1 do
+    if !pos + 8 > chunk_size then begin
+      emit buf !pos;
+      pos := 0
+    end;
+    let v = Plane.unsafe_get plane i in
+    if w = 4 then Bytes.set_int32_le buf !pos (Int32.of_int v)
+    else Bytes.set_int64_le buf !pos (Int64.of_int v);
+    pos := !pos + w
+  done;
+  if !pos > 0 then emit buf !pos
+
+let write_binary oc g =
+  let checksum = ref fnv_offset in
+  let emit bytes len =
+    checksum := fnv_bytes !checksum bytes len;
+    output_bytes oc (if len = Bytes.length bytes then bytes else Bytes.sub bytes 0 len)
+  in
+  let emit_string s =
+    let b = Bytes.of_string s in
+    emit b (Bytes.length b)
+  in
+  let emit_u64 v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    emit b 8
+  in
+  let offsets = Csr.offsets_plane g and targets = Csr.targets_plane g in
+  let weights = Csr.weights_plane g in
+  emit_string magic;
+  emit_u64 (Csr.nodes g);
+  emit_u64 (Csr.edges g);
+  emit_u64 (Plane.bytes_per_value offsets);
+  emit_u64 (Plane.bytes_per_value targets);
+  emit_u64 (match weights with None -> 0 | Some w -> Plane.bytes_per_value w);
+  stream_plane ~emit offsets;
+  stream_plane ~emit targets;
+  (match weights with None -> () | Some w -> stream_plane ~emit w);
+  let trailer = Bytes.create 8 in
+  Bytes.set_int64_le trailer 0 !checksum;
+  output_bytes oc trailer
+
+let save_binary path g =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_binary oc g)
+
+let corrupt what = failwith (Printf.sprintf "Graph_io: corrupt binary graph: %s" what)
+
+let read_binary ic =
+  let checksum = ref fnv_offset in
+  let read_exact len what =
+    let b = Bytes.create len in
+    (try really_input ic b 0 len with End_of_file -> corrupt ("truncated " ^ what));
+    checksum := fnv_bytes !checksum b len;
+    b
+  in
+  let got_magic = read_exact (String.length magic) "magic" in
+  if Bytes.to_string got_magic <> magic then corrupt "bad magic";
+  let read_u64 what =
+    let v = Bytes.get_int64_le (read_exact 8 what) 0 in
+    if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+      corrupt ("header field out of range: " ^ what);
+    Int64.to_int v
+  in
+  let n = read_u64 "node count" in
+  let m = read_u64 "edge count" in
+  let offw = read_u64 "offsets width" in
+  let tgtw = read_u64 "targets width" in
+  let ww = read_u64 "weights width" in
+  let check_width what = function
+    | 4 | 8 -> ()
+    | w -> corrupt (Printf.sprintf "bad %s width %d" what w)
+  in
+  check_width "offsets" offw;
+  check_width "targets" tgtw;
+  (match ww with 0 | 4 | 8 -> () | w -> corrupt (Printf.sprintf "bad weights width %d" w));
+  let read_plane ~width len what =
+    let plane =
+      Plane.create ~max_value:(if width = 4 then Plane.i32_max else max_int) len
+    in
+    let buf = Bytes.create chunk_size in
+    let per_chunk = chunk_size / width in
+    let i = ref 0 in
+    while !i < len do
+      let count = min per_chunk (len - !i) in
+      let bytes = count * width in
+      (try really_input ic buf 0 bytes with End_of_file -> corrupt ("truncated " ^ what));
+      checksum := fnv_bytes !checksum buf bytes;
+      for j = 0 to count - 1 do
+        let v =
+          if width = 4 then Int32.to_int (Bytes.get_int32_le buf (j * 4))
+          else Int64.to_int (Bytes.get_int64_le buf (j * 8))
+        in
+        if v < 0 then corrupt ("negative value in " ^ what);
+        Plane.unsafe_set plane (!i + j) v
+      done;
+      i := !i + count
+    done;
+    plane
+  in
+  let offsets = read_plane ~width:offw (n + 1) "offsets plane" in
+  let targets = read_plane ~width:tgtw m "targets plane" in
+  let weights = if ww = 0 then None else Some (read_plane ~width:ww m "weights plane") in
+  let expected = !checksum in
+  let trailer = Bytes.create 8 in
+  (try really_input ic trailer 0 8 with End_of_file -> corrupt "truncated checksum");
+  if Bytes.get_int64_le trailer 0 <> expected then corrupt "checksum mismatch";
+  match Csr.of_planes ?weights ~n ~offsets ~targets () with
+  | g -> g
+  | exception Invalid_argument msg -> corrupt msg
+
+let load_binary path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_binary ic)
+
+(* Format-sniffing load: binary when the file starts with the GCSR
+   magic, text otherwise. *)
+let load path =
+  let ic = open_in_bin path in
+  let is_binary =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let b = Bytes.create (String.length magic) in
+        match really_input ic b 0 (String.length magic) with
+        | () -> Bytes.to_string b = magic
+        | exception End_of_file -> false)
+  in
+  if is_binary then load_binary path else load_edges path
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic weights                                               *)
+(* ------------------------------------------------------------------ *)
 
 (* Deterministic uniform edge weights in [1, max_weight]. *)
 let random_weights ?(seed = 1) ?(max_weight = 100) g =
   let rng = Parallel.Splitmix.create seed in
   Array.init (Csr.edges g) (fun _ -> 1 + Parallel.Splitmix.int rng max_weight)
 
+(* Same value sequence as [random_weights], generated straight into a
+   weight plane — no heap array at million-edge scale. *)
+let attach_random_weights ?(seed = 1) ?(max_weight = 100) g =
+  let rng = Parallel.Splitmix.create seed in
+  let w = Plane.create ~max_value:max_weight (Csr.edges g) in
+  for e = 0 to Csr.edges g - 1 do
+    Plane.unsafe_set w e (1 + Parallel.Splitmix.int rng max_weight)
+  done;
+  Csr.with_weight_plane g w
+
 (* Weights for symmetric graphs where both directions of an undirected
    edge must carry the same weight (e.g. minimum spanning forest): the
    weight is a deterministic function of the unordered endpoint pair. *)
 let undirected_random_weights ?(seed = 1) ?(max_weight = 100) g =
-  let edges = Csr.all_edges g in
-  Array.map
-    (fun (u, v) ->
+  let out = Array.make (Csr.edges g) 0 in
+  Csr.iter_edges_i g (fun e u v ->
       let a = min u v and b = max u v in
       let rng = Parallel.Splitmix.create (seed + (a * 1_000_003) + b) in
-      1 + Parallel.Splitmix.int rng max_weight)
-    edges
+      out.(e) <- 1 + Parallel.Splitmix.int rng max_weight);
+  out

@@ -174,12 +174,21 @@ let run_query t ~sink (q : Query.t) =
       | Query.Sssp { source; _ } -> (
           if source < 0 || source >= n then Failed { reason = "source-out-of-range" }
           else
-            match entry.Catalog.weights with
+            (* Weights come from a catalog-side array or the graph's own
+               off-heap weight plane (disk-loaded entries); the schedule
+               depends on the values only, so the two sources answer
+               identically. *)
+            let run =
+              match entry.Catalog.weights with
+              | Some w -> Some (fun () -> Apps.Sssp.galois ~policy ~pool:t.pool ~sink g w ~source)
+              | None when Graphlib.Csr.weighted g ->
+                  Some (fun () -> Apps.Sssp.galois_weighted ~policy ~pool:t.pool ~sink g ~source)
+              | None -> None
+            in
+            match run with
             | None -> Failed { reason = "graph-has-no-weights" }
-            | Some w ->
-                let dist, report =
-                  Apps.Sssp.galois ~policy ~pool:t.pool ~sink g w ~source
-                in
+            | Some run ->
+                let dist, report = run () in
                 let reached =
                   Array.fold_left
                     (fun acc d -> if d = Apps.Sssp.unreached then acc else acc + 1)

@@ -43,6 +43,23 @@ let test_bfs_disconnected () =
       if d <> dist then Alcotest.failf "bfs %s differs on disconnected graph" name)
     policies
 
+(* --- sssp ------------------------------------------------------------- *)
+
+let test_sssp_weight_plane_equivalent () =
+  (* Weights from a catalog-side array and the same values embedded in
+     the graph's off-heap plane must produce identical distances AND
+     identical schedules — the schedule depends on weight values only,
+     not on where they are stored. *)
+  let g = Gen.kout ~seed:7 ~n:2000 ~k:5 () in
+  let w = Graphlib.Graph_io.random_weights ~seed:8 g in
+  let gw = Graphlib.Graph_io.attach_random_weights ~seed:8 g in
+  let policy = Galois.Policy.det 3 in
+  let dist_arr, rep_arr = Apps.Sssp.galois ~policy g w ~source:0 in
+  let dist_pl, rep_pl = Apps.Sssp.galois_weighted ~policy gw ~source:0 in
+  if dist_arr <> dist_pl then Alcotest.fail "sssp distances differ by weight source";
+  check_bool "schedule digests equal" true
+    (Galois.Trace_digest.equal rep_arr.stats.digest rep_pl.stats.digest)
+
 (* --- mis -------------------------------------------------------------- *)
 
 let mis_graph () = Csr.symmetrize (Gen.kout ~seed:11 ~n:2000 ~k:4 ())
@@ -245,6 +262,8 @@ let suite =
   [
     Alcotest.test_case "bfs: all variants agree" `Quick test_bfs_all_variants_agree;
     Alcotest.test_case "bfs: disconnected graph" `Quick test_bfs_disconnected;
+    Alcotest.test_case "sssp: weight plane = weight array" `Quick
+      test_sssp_weight_plane_equivalent;
     Alcotest.test_case "mis: all variants valid" `Quick test_mis_all_valid;
     Alcotest.test_case "mis: pbbs is lexicographic greedy" `Quick test_mis_pbbs_lexicographic;
     Alcotest.test_case "mis: det portable" `Quick test_mis_det_portable;

@@ -102,6 +102,160 @@ let prop_symmetrize_idempotent =
       let s2 = Csr.symmetrize s in
       Csr.edges s = Csr.edges s2 && Csr.is_symmetric s)
 
+(* ------------------------------------------------------------------ *)
+(* Off-heap substrate: planes, builders, binary format                 *)
+(* ------------------------------------------------------------------ *)
+
+module Plane = Graphlib.Plane
+module Io = Graphlib.Graph_io
+
+let test_plane_sizing () =
+  (* Width selection flips exactly at the 31-bit boundary. *)
+  let small = Plane.create ~max_value:Plane.i32_max 4 in
+  check_int "4B below boundary" 4 (Plane.bytes_per_value small);
+  let big = Plane.create ~max_value:(Plane.i32_max + 1) 4 in
+  check_int "8B above boundary" 8 (Plane.bytes_per_value big);
+  (* Values round-trip at both widths, including the extremes. *)
+  let vals = [| 0; 1; 0xFFFF; 0x10000; Plane.i32_max |] in
+  let p = Plane.of_array vals in
+  check_int "of_array stays 4B" 4 (Plane.bytes_per_value p);
+  Alcotest.(check (array int)) "4B round-trip" vals (Plane.to_array p);
+  let wide = [| 0; Plane.i32_max + 1; max_int |] in
+  let q = Plane.of_array wide in
+  check_int "of_array widens" 8 (Plane.bytes_per_value q);
+  Alcotest.(check (array int)) "8B round-trip" wide (Plane.to_array q);
+  Alcotest.check_raises "4B set rejects overflow"
+    (Invalid_argument "Plane.set: value exceeds 32-bit plane")
+    (fun () -> Plane.set small 0 (Plane.i32_max + 1))
+
+let test_builder_matches_of_adjacency () =
+  (* The streaming builder must reproduce of_adjacency's adjacency
+     order exactly when fed the same edges in the same order. *)
+  let n = 37 in
+  let rng = Parallel.Splitmix.create 90125 in
+  let m = 300 in
+  let edges =
+    Array.init m (fun _ ->
+        (Parallel.Splitmix.int rng n, Parallel.Splitmix.int rng n))
+  in
+  let adj = Array.make n [] in
+  Array.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+  let adj = Array.map List.rev adj in
+  let via_adj = Csr.of_adjacency adj in
+  let via_edges = Csr.of_edges ~n edges in
+  let b = Csr.Builder.create ~n () in
+  Array.iter (fun (u, v) -> Csr.Builder.add_edge b u v) edges;
+  let via_builder = Csr.Builder.build b in
+  check_bool "of_edges = of_adjacency" true (Csr.equal via_adj via_edges);
+  check_bool "builder = of_adjacency" true (Csr.equal via_adj via_builder)
+
+let prop_builder_matches_of_adjacency =
+  QCheck.Test.make ~name:"builder adjacency order = of_adjacency" ~count:100
+    QCheck.(pair (int_range 1 40) (int_range 0 120))
+    (fun (n, m) ->
+      let rng = Parallel.Splitmix.create ((n * 1009) + m) in
+      let edges =
+        Array.init m (fun _ ->
+            (Parallel.Splitmix.int rng n, Parallel.Splitmix.int rng n))
+      in
+      let adj = Array.make n [] in
+      Array.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+      let via_adj = Csr.of_adjacency (Array.map List.rev adj) in
+      let b = Csr.Builder.create ~n () in
+      Array.iter (fun (u, v) -> Csr.Builder.add_edge b u v) edges;
+      Csr.equal via_adj (Csr.Builder.build b))
+
+let with_temp f =
+  let path = Filename.temp_file "test_graph" ".gcsr" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_binary_roundtrip () =
+  with_temp (fun path ->
+      let g = Gen.kout ~seed:11 ~n:300 ~k:4 () in
+      Io.save_binary path g;
+      check_bool "unweighted round-trip" true (Csr.equal g (Io.load path));
+      let w = Io.attach_random_weights ~seed:12 ~max_weight:77 g in
+      Io.save_binary path w;
+      let w' = Io.load path in
+      check_bool "weighted round-trip" true (Csr.equal w w');
+      check_bool "weights survive" true (Csr.weighted w'))
+
+let test_binary_rejects_corruption () =
+  with_temp (fun path ->
+      let g = Gen.kout ~seed:13 ~n:200 ~k:3 () in
+      Io.save_binary path g;
+      let bytes =
+        In_channel.with_open_bin path In_channel.input_all |> Bytes.of_string
+      in
+      let expect_corrupt label bytes =
+        with_temp (fun path' ->
+            Out_channel.with_open_bin path' (fun oc ->
+                Out_channel.output_bytes oc bytes);
+            match Io.load_binary path' with
+            | _ -> Alcotest.failf "%s: corrupt file accepted" label
+            | exception Failure msg ->
+                check_bool
+                  (label ^ ": error is tagged")
+                  true
+                  (String.length msg >= 7 && String.sub msg 0 8 = "Graph_io"))
+      in
+      (* Flip one payload bit. *)
+      let flipped = Bytes.copy bytes in
+      let mid = Bytes.length flipped / 2 in
+      Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 1));
+      expect_corrupt "bit flip" flipped;
+      (* Truncate. *)
+      expect_corrupt "truncation" (Bytes.sub bytes 0 (Bytes.length bytes - 9));
+      (* Wrong magic. *)
+      let bad_magic = Bytes.copy bytes in
+      Bytes.set bad_magic 0 'X';
+      expect_corrupt "bad magic" bad_magic)
+
+let test_text_weighted_roundtrip () =
+  with_temp (fun path ->
+      let g =
+        Io.attach_random_weights ~seed:21 ~max_weight:9 (Gen.kout ~seed:20 ~n:60 ~k:3 ())
+      in
+      Io.save_edges path g;
+      let g' = Io.load path in
+      check_bool "weighted text round-trip" true (Csr.equal g g'))
+
+let test_attach_matches_random_weights () =
+  let g = Gen.kout ~seed:31 ~n:120 ~k:4 () in
+  let arr = Io.random_weights ~seed:32 ~max_weight:50 g in
+  let att = Io.attach_random_weights ~seed:32 ~max_weight:50 g in
+  match Csr.weights_array att with
+  | None -> Alcotest.fail "attach_random_weights left the graph unweighted"
+  | Some w -> Alcotest.(check (array int)) "same weight sequence" arr w
+
+let test_mem_edge () =
+  let g = Csr.symmetrize (Gen.kout ~seed:41 ~n:150 ~k:4 ()) in
+  (* Symmetrized adjacency is sorted: mem_edge takes the binary-search
+     path. Cross-check every pair against a linear scan. *)
+  for u = 0 to Csr.nodes g - 1 do
+    for v = 0 to Csr.nodes g - 1 do
+      let linear = Csr.exists_succ g u (fun w -> w = v) in
+      if Csr.mem_edge g u v <> linear then
+        Alcotest.failf "mem_edge disagrees with scan at (%d, %d)" u v
+    done
+  done
+
+let test_uniform_generator () =
+  let g = Gen.uniform ~seed:51 ~n:500 ~m:2500 () in
+  check_int "nodes" 500 (Csr.nodes g);
+  check_int "edges" 2500 (Csr.edges g);
+  Csr.iter_edges g (fun u v ->
+      if u = v then Alcotest.failf "self loop at %d" u);
+  let g' = Gen.uniform ~seed:51 ~n:500 ~m:2500 () in
+  check_bool "deterministic" true (Csr.equal g g')
+
+let test_graph_off_heap () =
+  let g = Gen.kout ~seed:61 ~n:10_000 ~k:5 () in
+  check_bool "planes are 4B here" true
+    (Plane.bytes_per_value (Csr.targets_plane g) = 4);
+  (* (n+1) offsets + m targets at 4 bytes. *)
+  check_int "payload bytes" ((10_001 * 4) + (50_000 * 4)) (Csr.memory_bytes g)
+
 let suite =
   [
     Alcotest.test_case "of_adjacency" `Quick test_of_adjacency;
@@ -117,4 +271,14 @@ let suite =
     Alcotest.test_case "rmat sizes" `Quick test_rmat;
     Alcotest.test_case "flow network generator" `Quick test_flow_network_gen;
     QCheck_alcotest.to_alcotest prop_symmetrize_idempotent;
+    Alcotest.test_case "plane width selection" `Quick test_plane_sizing;
+    Alcotest.test_case "builder = of_adjacency" `Quick test_builder_matches_of_adjacency;
+    QCheck_alcotest.to_alcotest prop_builder_matches_of_adjacency;
+    Alcotest.test_case "binary round-trip" `Quick test_binary_roundtrip;
+    Alcotest.test_case "binary corruption rejected" `Quick test_binary_rejects_corruption;
+    Alcotest.test_case "weighted text round-trip" `Quick test_text_weighted_roundtrip;
+    Alcotest.test_case "attach_random_weights sequence" `Quick test_attach_matches_random_weights;
+    Alcotest.test_case "mem_edge binary search" `Quick test_mem_edge;
+    Alcotest.test_case "uniform generator" `Quick test_uniform_generator;
+    Alcotest.test_case "graph lives off-heap" `Quick test_graph_off_heap;
   ]

@@ -144,6 +144,26 @@ let test_hierarchy_locality_effect () =
   in
   check_bool "round execution touches DRAM more" true (d_rounds > d_flat)
 
+let test_layout_compact_wins () =
+  (* A recorded deterministic bfs replayed against the layout model:
+     the compact 4-byte substrate must hit at least as often as the old
+     boxed 8-byte one, and touch at most as many distinct lines — same
+     access stream, narrower footprint. *)
+  let g = Graphlib.Generators.kout ~seed:9 ~n:3000 ~k:5 () in
+  Galois.Lock.reset_lids ();
+  let _, report =
+    Apps.Bfs.galois ~record:true ~policy:(Galois.Policy.det 2) g ~source:0
+  in
+  match report.Galois.Runtime.schedule with
+  | None -> Alcotest.fail "no schedule recorded"
+  | Some sched ->
+      let boxed, compact = Cachesim.Layout.compare_layouts g sched in
+      check_bool "model saw the stream" true (boxed.Cachesim.Layout.accesses > 0);
+      check_bool "compact hit rate >= boxed" true
+        (Cachesim.Layout.hit_rate compact >= Cachesim.Layout.hit_rate boxed);
+      check_bool "compact spans fewer lines" true
+        (compact.Cachesim.Layout.lines_touched <= boxed.Cachesim.Layout.lines_touched)
+
 let suite =
   [
     Alcotest.test_case "machine descriptions" `Quick test_machine_shapes;
@@ -161,4 +181,5 @@ let suite =
     Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache geometry validation" `Quick test_cache_validation;
     Alcotest.test_case "hierarchy shows det locality loss" `Quick test_hierarchy_locality_effect;
+    Alcotest.test_case "layout: compact CSR beats boxed" `Quick test_layout_compact_wins;
   ]
