@@ -23,8 +23,10 @@
      bench_apps --compare DIR            also diff against records in DIR
      bench_apps --scale tiny|small       input sizes (default small)
      bench_apps --threads T              timing-pass threads (default 4)
-     bench_apps --apps bfs,sssp,...      subset (default the four apps
-                                         plus the serve service case)
+     bench_apps --apps bfs,sssp,...      subset (default the four apps,
+                                         the soft-priority sssp_auto
+                                         case and the serve service
+                                         case)
      bench_apps --large                  also run the paper-scale tier
                                          (bfs_large / sssp_large on a
                                          million-vertex R-MAT graph)
@@ -41,6 +43,11 @@
 type app_case = {
   name : string;
   size : int;
+  (* Soft-priority mode of both passes: Prio_off for the classic
+     unordered cases, Prio_auto/Prio_delta for the ordered ones
+     (sssp_auto). Feeds the det policy's options, so the emitted
+     record's policy string carries it. *)
+  priority : Galois.Policy.priority_mode;
   (* Build the input (timed into build_s) and return the closure that
      runs the Galois program under a policy on a shared pool, plus the
      off-heap bytes of the graph input (0 when there is none). A fresh
@@ -58,6 +65,7 @@ let cases ~tiny =
     {
       name = "bfs";
       size = sz 20_000 600;
+      priority = Galois.Policy.Prio_off;
       prepare =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
@@ -67,6 +75,23 @@ let cases ~tiny =
     {
       name = "sssp";
       size = sz 10_000 500;
+      priority = Galois.Policy.Prio_off;
+      prepare =
+        (fun ~seed ~size ->
+          let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
+          let w = Graphlib.Graph_io.random_weights ~seed:(seed + 1) g in
+          ( (fun ~pool policy -> snd (Apps.Sssp.galois ~pool ~policy g w ~source:0)),
+            Graphlib.Csr.memory_bytes g ));
+    };
+    {
+      (* The same weighted input as sssp, scheduled by tentative
+         distance (prio=auto delta-stepping buckets). Results and the
+         sssp record's input digest column aside, the pair is read
+         through work_units/efficiency: ordering by distance commits
+         the same distances with fewer wasted re-relaxations. *)
+      name = "sssp_auto";
+      size = sz 10_000 500;
+      priority = Galois.Policy.Prio_auto;
       prepare =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
@@ -77,6 +102,7 @@ let cases ~tiny =
     {
       name = "boruvka";
       size = sz 1_000 400;
+      priority = Galois.Policy.Prio_off;
       prepare =
         (fun ~seed ~size ->
           let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:4 ()) in
@@ -87,6 +113,7 @@ let cases ~tiny =
     {
       name = "dmr";
       size = sz 1_500 150;
+      priority = Galois.Policy.Prio_off;
       prepare =
         (fun ~seed ~size ->
           let pts = Geometry.Point.random_unit_square ~seed size in
@@ -111,6 +138,7 @@ let large_cases =
     {
       name = "bfs_large";
       size = 1 lsl 20;
+      priority = Galois.Policy.Prio_off;
       prepare =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.rmat ~seed ~scale:(log2 size) ~edge_factor:8 () in
@@ -120,6 +148,7 @@ let large_cases =
     {
       name = "sssp_large";
       size = 1 lsl 18;
+      priority = Galois.Policy.Prio_off;
       prepare =
         (fun ~seed ~size ->
           let g = Graphlib.Generators.rmat ~seed ~scale:(log2 size) ~edge_factor:8 () in
@@ -132,7 +161,10 @@ let large_cases =
     };
   ]
 
-let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
+let bench_case ~threads ~timing_pool ~alloc_pool { name; size; priority; prepare } =
+  let det t =
+    Galois.Policy.det ~options:(Galois.Policy.Det_options.make ~priority ()) t
+  in
   (* Each app run gets its own lid namespace, so location ids in debug
      output are reproducible run-to-run. *)
   Galois.Lock.reset_lids ();
@@ -142,7 +174,7 @@ let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
   let tb = Galois.Clock.now_s () in
   let exec, graph_bytes = prepare ~seed ~size in
   let build_s = Galois.Clock.elapsed_s tb in
-  let timing_policy = Galois.Policy.det threads in
+  let timing_policy = det threads in
   let t0 = Galois.Clock.now_s () in
   let timing = exec ~pool:timing_pool timing_policy in
   let wall_s = Galois.Clock.elapsed_s t0 in
@@ -151,7 +183,7 @@ let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
   let exec1, _ = prepare ~seed ~size in
   Gc.full_major ();
   let g0 = Gc.quick_stat () in
-  let alloc = exec1 ~pool:alloc_pool (Galois.Policy.det 1) in
+  let alloc = exec1 ~pool:alloc_pool (det 1) in
   let g1 = Gc.quick_stat () in
   let stats = timing.Galois.Runtime.stats in
   let astats = alloc.Galois.Runtime.stats in
@@ -178,6 +210,9 @@ let bench_case ~threads ~timing_pool ~alloc_pool { name; size; prepare } =
     rounds = stats.rounds;
     generations = stats.generations;
     work_units = stats.work_units;
+    efficiency =
+      Analysis.Bench_record.efficiency ~commits:stats.commits
+        ~work_units:stats.work_units;
     minor_words;
     promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
     major_words = g1.Gc.major_words -. g0.Gc.major_words;
@@ -276,6 +311,7 @@ let bench_serve ~threads ~timing_pool ~alloc_pool ~nodes ~requests ~batch =
     rounds;
     generations = 0;
     work_units = 0;
+    efficiency = 0.0;
     minor_words;
     promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
     major_words = g1.Gc.major_words -. g0.Gc.major_words;
@@ -319,6 +355,14 @@ let validate_file path =
           -. Analysis.Bench_record.rounds_per_s ~rounds:r.rounds ~wall_s:r.wall_s)
         > 1e-6 +. (1e-9 *. Float.abs r.rounds_per_s)
       then Error (Printf.sprintf "%s: rounds_per_s inconsistent with rounds/wall_s" path)
+      else if
+        (* efficiency is likewise derived: commits / work_units. *)
+        Float.abs
+          (r.efficiency
+          -. Analysis.Bench_record.efficiency ~commits:r.commits
+               ~work_units:r.work_units)
+        > 1e-9
+      then Error (Printf.sprintf "%s: efficiency inconsistent with commits/work_units" path)
       else if r.atomics_per_commit < 0.0 then
         Error (Printf.sprintf "%s: negative atomics_per_commit" path)
       else if r.queries_per_s < 0.0 || r.p99_latency_s < 0.0 then
@@ -360,7 +404,7 @@ let compare_against ~dir records =
 
 let () =
   let out = ref "." and scale = ref "small" and threads = ref 4 in
-  let apps = ref [ "bfs"; "sssp"; "boruvka"; "dmr"; "serve" ] in
+  let apps = ref [ "bfs"; "sssp"; "sssp_auto"; "boruvka"; "dmr"; "serve" ] in
   let compare_dir = ref None and smoke = ref false in
   let large = ref false and cachesim = ref false in
   let rec parse = function

@@ -278,7 +278,15 @@ let run ~cases ~seed ~apps ~threads ~size ~points ~service ~verbose =
   in
   if not skip_controls then begin
     control (Galois.Policy.det 2);
-    control (Galois.Policy.nondet 2)
+    control (Galois.Policy.nondet 2);
+    (* Bucket-assignment control: priority-salt perturbation must move
+       the ordered schedule and must not move the unordered one. *)
+    if Detcheck.prio_salt_distinguished ~seed () then
+      Fmt.pr "ok    positive control: priority salt moves ordered schedules only@."
+    else begin
+      incr failures;
+      Fmt.pr "FAIL  positive control: priority salt NOT reflected in ordered schedules@."
+    end
   end;
   if !failures = 0 then begin
     Fmt.pr "detcheck: all passed (%d lattice runs)@." !total_runs;

@@ -218,6 +218,13 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
       pp_stats "triangles" report.stats;
       Fmt.pr "  %d triangles@." total;
       `Ok ()
+  | "kcore" ->
+      let g = Graphlib.Csr.symmetrize (Graphlib.Generators.kout ~seed ~n:size ~k:5 ()) in
+      let core, report = Apps.Kcore.galois ~sink ~policy g in
+      pp_stats "kcore" report.stats;
+      let kmax = Array.fold_left max 0 core in
+      Fmt.pr "  max coreness=%d; valid=%b@." kmax (Apps.Kcore.validate g core);
+      `Ok ()
   | "pagerank" ->
       let g = Graphlib.Generators.kout ~seed ~n:size ~k:5 () in
       let ranks, report = Apps.Pagerank.galois ~sink ~policy g in
@@ -231,7 +238,10 @@ let run_app ~app ~policy ~size ~seed ~verbose ~sink =
 open Cmdliner
 
 let app_arg =
-  let doc = "Benchmark to run: bfs | mis | dt | dmr | pfp | cc | sssp | mst | triangles | pagerank." in
+  let doc =
+    "Benchmark to run: bfs | mis | dt | dmr | pfp | cc | sssp | mst | kcore | triangles | \
+     pagerank."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
 let policy_arg =
@@ -245,7 +255,9 @@ let policy_arg =
      $(b,det:8[window=64,spread=1,ratio=0.95,cont=off,validate=on]): window=N|auto pins or \
      derives the first round's window, spread=N sets the locality-spread piles (1 disables), \
      ratio=R sets the adaptive commit-ratio target, cont/validate toggle the continuation \
-     optimization and commit-time mark validation."
+     optimization and commit-time mark validation, and prio=off|delta:N|auto selects \
+     soft-priority delta-stepping bucket scheduling (apps with a priority hint — sssp, \
+     kcore — then run lowest-bucket-first)."
   in
   Arg.(value & opt policy_conv Galois.Policy.serial & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
 

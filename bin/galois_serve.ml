@@ -94,6 +94,7 @@ let run nodes seed requests batch domains threads max_pending trace out verbose 
               rounds;
               generations = 0;
               work_units = 0;
+              efficiency = 0.0;
               minor_words = 0.0;
               promoted_words = 0.0;
               major_words = 0.0;

@@ -30,6 +30,7 @@ type t = {
   rounds : int;
   generations : int;
   work_units : int;  (* abstract (simmachine cost-model) work *)
+  efficiency : float;  (* commits / work_units; 0 when no work recorded *)
   minor_words : float;  (* Gc.quick_stat deltas of the det:1 run *)
   promoted_words : float;
   major_words : float;
@@ -44,6 +45,12 @@ type t = {
   p99_latency_s : float;  (* service p99 submit-to-done; 0 for single-run apps *)
   digest : string;  (* schedule digest (hex), "-" when absent *)
 }
+
+(* Scheduling efficiency: committed tasks per abstract work unit. A
+   soft-priority policy that avoids wasted re-relaxations raises this
+   figure on the same input without touching any timing metric. *)
+let efficiency ~commits ~work_units =
+  if work_units <= 0 then 0.0 else float_of_int commits /. float_of_int work_units
 
 let minor_words_per_commit ~minor_words ~commits =
   if commits <= 0 then 0.0 else minor_words /. float_of_int commits
@@ -84,6 +91,7 @@ let fields t =
     ("rounds", I t.rounds);
     ("generations", I t.generations);
     ("work_units", I t.work_units);
+    ("efficiency", F t.efficiency);
     ("minor_words", F t.minor_words);
     ("promoted_words", F t.promoted_words);
     ("major_words", F t.major_words);
@@ -290,6 +298,7 @@ let of_json text =
         rounds = get_int fs "rounds";
         generations = get_int fs "generations";
         work_units = get_int fs "work_units";
+        efficiency = get_float fs "efficiency";
         minor_words = get_float fs "minor_words";
         promoted_words = get_float fs "promoted_words";
         major_words = get_float fs "major_words";
@@ -351,8 +360,11 @@ let compare_to ~baseline current =
     d "minor_words" baseline.minor_words current.minor_words;
     d "minor_words_per_commit" baseline.minor_words_per_commit
       current.minor_words_per_commit;
-    (* Report-only sync-overhead metrics (no gate: both are
-       machine-load-sensitive). *)
+    (* Report-only metrics (no gate: the sync-overhead figures are
+       machine-load-sensitive, and work/efficiency legitimately move
+       when a case switches scheduling policy). *)
+    d "work_units" (float_of_int baseline.work_units) (float_of_int current.work_units);
+    d "efficiency" baseline.efficiency current.efficiency;
     d "rounds_per_s" baseline.rounds_per_s current.rounds_per_s;
     d "atomics_per_commit" baseline.atomics_per_commit current.atomics_per_commit;
     d "queries_per_s" baseline.queries_per_s current.queries_per_s;

@@ -27,6 +27,11 @@ type t = {
   rounds : int;
   generations : int;
   work_units : int;  (** abstract (simmachine cost-model) work *)
+  efficiency : float;
+      (** committed tasks per abstract work unit
+          ([commits /. work_units], [0.0] when no work was recorded) —
+          the report-only figure the soft-priority scheduling sweep
+          reads: better task ordering raises it on the same input *)
   minor_words : float;
       (** [Gc.quick_stat] delta of a single-domain ([det:1]) run, where
           the counters are exact for the whole pipeline *)
@@ -50,6 +55,9 @@ type t = {
           case; [0.0] for the single-run apps *)
   digest : string;  (** schedule digest (hex); ["-"] when absent *)
 }
+
+val efficiency : commits:int -> work_units:int -> float
+(** [commits /. work_units], 0 when no work units were recorded. *)
 
 val minor_words_per_commit : minor_words:float -> commits:int -> float
 (** [minor_words /. commits], 0 when no commits. *)
@@ -85,9 +93,10 @@ type delta = {
 
 val compare_to : baseline:t -> t -> delta list
 (** Deltas for the tracked metrics (wall time, phase times, minor
-    allocation, minor words per committed task, rounds per second,
-    atomics per commit, queries per second, p99 latency, build time,
-    graph bytes), in that order. Everything after minor words per
-    commit is report-only: no regression gate keys off it. *)
+    allocation, minor words per committed task, work units, efficiency,
+    rounds per second, atomics per commit, queries per second, p99
+    latency, build time, graph bytes), in that order. Everything after
+    minor words per commit is report-only: no regression gate keys off
+    it. *)
 
 val pp_delta : Format.formatter -> delta -> unit

@@ -33,6 +33,10 @@ let plan_with ~weight g ~source =
   let run =
     Galois.Run.make ~operator [| (source, 0) |]
     |> Galois.Run.app "sssp"
+    (* Soft-priority hint: the tentative distance. Only consulted when
+       the policy asks for prio=delta/auto; prio=off schedules are
+       byte-identical to the hint-free ones. *)
+    |> Galois.Run.priority (fun (_, d) -> d)
     |> Galois.Run.snapshot_state
          ~save:(fun () -> Array.copy dist)
          ~restore:(fun saved -> Array.blit saved 0 dist 0 n)

@@ -115,8 +115,12 @@ let adapt_window ~target_ratio ~window ~committed ~w_use =
    task universe instead (§3.3, third optimization) and duplicates
    collapse to a single task. Either way the assigned ids are dense in
    [base, base + count) — the defeat table below indexes on exactly
-   that. *)
-let form_generation ~static_id ~spread ~next_id (todo : 'item Child_buffer.t) =
+   that.
+
+   Returns tasks in id order; the caller applies the spread permutation
+   (unordered generations) or the bucket layout (soft-priority
+   generations) on top. *)
+let form_generation ~static_id ~next_id (todo : 'item Child_buffer.t) =
   let n = Child_buffer.length todo in
   if n = 0 then [||]
   else
@@ -140,7 +144,7 @@ let form_generation ~static_id ~spread ~next_id (todo : 'item Child_buffer.t) =
         let base = !next_id in
         next_id := base + !count;
         let out = Array.of_list (List.rev !tasks) in
-        spread_permute spread (Array.mapi (fun i item -> make_task (base + i) item) out)
+        Array.mapi (fun i item -> make_task (base + i) item) out
     | None ->
         let idx = Array.init n (fun i -> i) in
         Array.sort
@@ -154,8 +158,58 @@ let form_generation ~static_id ~spread ~next_id (todo : 'item Child_buffer.t) =
           idx;
         let base = !next_id in
         next_id := base + n;
-        spread_permute spread
-          (Array.mapi (fun r i -> make_task (base + r) (Child_buffer.item todo i)) idx)
+        Array.mapi (fun r i -> make_task (base + r) (Child_buffer.item todo i)) idx
+
+(* Delta-stepping bucket index with floor semantics, so negative
+   priorities order correctly below zero instead of folding onto
+   bucket 0. *)
+let bucket_of ~delta p = if p >= 0 then p / delta else -(((-p) + delta - 1) / delta)
+
+(* Per-generation automatic delta: spread the priority span over ~64
+   buckets. A pure function of the generation's priorities, so [auto]
+   is as deterministic as an explicit delta. *)
+let auto_delta prios =
+  let pmin = ref prios.(0) and pmax = ref prios.(0) in
+  Array.iter
+    (fun p ->
+      if p < !pmin then pmin := p;
+      if p > !pmax then pmax := p)
+    prios;
+  max 1 (((!pmax - !pmin) / 64) + 1)
+
+(* Lay an id-ordered generation out as contiguous delta-stepping bucket
+   runs: stable-sort by bucket (ties by position, i.e. id), group equal
+   buckets, and spread-permute each run on its own — windows never
+   straddle a bucket, so the permutation must not either. Returns the
+   reordered tasks, the [(bucket, size)] run table and the delta used. *)
+let bucketize ~mode ~spread ~priority generation =
+  let n = Array.length generation in
+  let prios = Array.map (fun t -> priority t.item) generation in
+  let delta =
+    match mode with
+    | Policy.Prio_delta d -> d
+    | Policy.Prio_auto -> auto_delta prios
+    | Policy.Prio_off -> invalid_arg "Det_sched.bucketize: prio=off"
+  in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      let bi = bucket_of ~delta prios.(i) and bj = bucket_of ~delta prios.(j) in
+      if bi <> bj then compare bi bj else compare i j)
+    idx;
+  let out = Array.map (fun i -> generation.(i)) idx in
+  let runs = ref [] in
+  let start = ref 0 in
+  for i = 1 to n do
+    if i = n || bucket_of ~delta prios.(idx.(i)) <> bucket_of ~delta prios.(idx.(!start))
+    then begin
+      let len = i - !start in
+      runs := (bucket_of ~delta prios.(idx.(!start)), len) :: !runs;
+      Array.blit (spread_permute spread (Array.sub out !start len)) 0 out !start len;
+      start := i
+    end
+  done;
+  (out, Array.of_list (List.rev !runs), delta)
 
 (* Guided chunk size for dynamic parallel iteration: aim for several
    grabs per worker (cheap load balancing against uneven task costs)
@@ -200,6 +254,11 @@ type 'item boundary = {
   b_next_id : int;
   b_gen_base : int;
   b_window : int;  (* the *next* round's window (already adapted) *)
+  b_delta : int;
+      (* bucket width of the current soft-priority generation; 0 when
+         the generation is unordered (prio=off) or fully drained. Resume
+         recomputes each pending task's bucket from its priority and
+         this delta, so the run table does not need to be serialized. *)
   b_digest : Trace_digest.t;
   b_pending_ids : int array;  (* task ids, in pending-deque order *)
   b_pending_items : 'item array;
@@ -215,8 +274,14 @@ type 'item boundary = {
 }
 
 let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_after
-    ?threads ~pool ~options ~static_id ~operator items =
-  let { Policy.target_ratio; initial_window; spread; continuation; validate } = options in
+    ?threads ?priority ~pool ~options ~static_id ~operator items =
+  let { Policy.target_ratio; initial_window; spread; continuation; validate;
+        priority = prio_mode } =
+    options
+  in
+  (* Soft-priority mode without an application priority function still
+     works: every task lands in bucket 0 (a single run per generation). *)
+  let prio_of = match priority with Some f -> f | None -> fun _ -> 0 in
   (match checkpoint with
   | Some (every, _) when every < 1 ->
       invalid_arg "Det_sched.run: checkpoint cadence must be >= 1"
@@ -286,6 +351,23 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
   let todo = Child_buffer.create () in
   let pending = Pending.create () in
   let window = ref 0 in
+  (* Bucket width of the current generation (0 = unordered) and the
+     number of soft-priority runs opened so far. Opening a run folds its
+     bucket index and size into the digest — the bucket layout is a pure
+     function of (ids, priorities, delta), so this keeps the digest a
+     schedule commitment under [prio] too. *)
+  let cur_delta = ref 0 in
+  let buckets_opened = ref 0 in
+  let open_run () =
+    match Pending.current_run pending with
+    | None -> ()
+    | Some (bucket, size) ->
+        incr buckets_opened;
+        digest := Trace_digest.fold_int !digest bucket;
+        digest := Trace_digest.fold_int !digest size;
+        if tracing then
+          emit (Obs.Bucket_opened { generation = !generations; bucket; size })
+  in
   (* Cumulative deterministic counters carried over from the run a
      resume boundary was captured in. *)
   let carry_commits = ref 0
@@ -330,7 +412,25 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
         let generation =
           Array.init n (fun i -> make_task b.b_pending_ids.(i) b.b_pending_items.(i))
         in
-        Pending.load pending generation;
+        if b.b_delta > 0 then begin
+          (* Soft-priority generation: the captured deque order is
+             run-contiguous (windows never straddle runs), so grouping
+             consecutive equal buckets reconstructs the run table. The
+             current run was already opened (and digest-folded) before
+             the boundary, so it is not re-opened here. *)
+          let bucket i = bucket_of ~delta:b.b_delta (prio_of generation.(i).item) in
+          let runs = ref [] in
+          let start = ref 0 in
+          for i = 1 to n do
+            if i = n || bucket i <> bucket !start then begin
+              runs := (bucket !start, i - !start) :: !runs;
+              start := i
+            end
+          done;
+          Pending.load_runs pending generation (Array.of_list (List.rev !runs));
+          cur_delta := b.b_delta
+        end
+        else Pending.load pending generation;
         let need = !next_id - !gen_base in
         if need > Array.length !slot_round then begin
           slot_task := Array.make need generation.(0);
@@ -352,6 +452,7 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
       b_next_id = !next_id;
       b_gen_base = !gen_base;
       b_window = !window;
+      b_delta = (if np = 0 then 0 else !cur_delta);
       b_digest = !digest;
       b_pending_ids = Array.init np (fun i -> (Pending.get pending i).id);
       b_pending_items = Array.init np (fun i -> (Pending.get pending i).item);
@@ -377,7 +478,7 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
   while (not !stop) && (Pending.length pending > 0 || Child_buffer.length todo > 0) do
     if Pending.length pending = 0 then begin
       incr generations;
-      let generation = form_generation ~static_id ~spread ~next_id todo in
+      let generation = form_generation ~static_id ~next_id todo in
       Child_buffer.clear todo;
       let gen_len = Array.length generation in
       gen_base := !next_id - gen_len;
@@ -385,10 +486,25 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
         slot_task := Array.make gen_len generation.(0);
         slot_round := Array.make gen_len 0
       end;
-      Pending.load pending generation;
+      (match prio_mode with
+      | Policy.Prio_off ->
+          cur_delta := 0;
+          Pending.load pending (spread_permute spread generation)
+      | _ when gen_len = 0 ->
+          cur_delta := 0;
+          Pending.load pending generation
+      | mode ->
+          let laid_out, runs, delta = bucketize ~mode ~spread ~priority:prio_of generation in
+          cur_delta := delta;
+          Pending.load_runs pending laid_out runs);
       digest := Trace_digest.fold_int !digest gen_len;
+      if !cur_delta > 0 then digest := Trace_digest.fold_int !digest !cur_delta;
       if tracing then
         emit (Obs.Generation_begin { generation = !generations; tasks = gen_len });
+      (* The first run of a soft-priority generation opens (and is
+         digest-folded) as part of generation formation; later runs open
+         as their predecessors drain. *)
+      open_run ();
       if !window = 0 then
         window :=
           (match initial_window with Some w -> max 1 w | None -> max 32 ((gen_len + 7) / 8))
@@ -398,8 +514,10 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
        left behind is stale — free by construction — for this round's
        claims, which is what lets selectAndExec skip releasing. *)
     let stamp = Lock.new_epoch () in
-    (* --- calculateWindow / getWindowOfTasks --------------------- *)
-    let w_use = min !window (Pending.length pending) in
+    (* --- calculateWindow / getWindowOfTasks ---------------------
+       Under soft-priority scheduling the window is additionally capped
+       at the current bucket run: rounds never mix buckets. *)
+    let w_use = min !window (Pending.window_avail pending) in
     for i = 0 to w_use - 1 do
       let t = Pending.get pending i in
       t.alive <- true;
@@ -578,6 +696,15 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
           not (Pending.get pending i).alive)
     in
     assert (dropped = !n_committed);
+    (* Soft-priority run accounting: when the commits drained the
+       current bucket run, open the next one — so every round boundary
+       with pending tasks already has its run open, which is what lets a
+       checkpoint carry just [b_delta]. *)
+    (match Pending.note_dropped pending dropped with
+    | None -> ()
+    | Some bucket ->
+        if tracing then emit (Obs.Bucket_drained { round = !rounds; bucket });
+        open_run ());
     let old_w = !window in
     window := adapt_window ~target_ratio ~window:old_w ~committed:!n_committed ~w_use;
     if tracing && !window <> old_w then
@@ -617,7 +744,8 @@ let run ?(record = false) ?(sink = Obs.null) ?audit ?checkpoint ?resume ?stop_af
                spins = st.spins; parks = st.parks }))
       workers;
   let stats =
-    Stats.merge ~digest:!digest ~threads ~rounds:!rounds ~generations:!generations ~time_s
+    Stats.merge ~digest:!digest ~threads ~rounds:!rounds ~generations:!generations
+      ~buckets:!buckets_opened ~time_s
       ~phases:(Stats.breakdown ~inspect_s:!inspect_s ~select_s:!select_s ~time_s)
       workers
   in

@@ -26,6 +26,10 @@ type 'item boundary = {
   b_next_id : int;
   b_gen_base : int;
   b_window : int;  (** the {e next} round's window (already adapted) *)
+  b_delta : int;
+      (** bucket width of the current soft-priority generation; 0 when
+          unordered. Resume recomputes pending buckets from priorities
+          and this delta. *)
   b_digest : Trace_digest.t;  (** digest prefix through round [b_rounds] *)
   b_pending_ids : int array;  (** task ids, in pending-deque order *)
   b_pending_items : 'item array;
@@ -58,6 +62,7 @@ val run :
   ?resume:'item boundary ->
   ?stop_after:int ->
   ?threads:int ->
+  ?priority:('item -> int) ->
   pool:Parallel.Domain_pool.t ->
   options:Policy.det_options ->
   static_id:('item -> int) option ->
@@ -68,6 +73,19 @@ val run :
     from a fixed universe: ids come from the application (and duplicate
     pushes of one task collapse) instead of lexicographic child
     sorting.
+
+    [priority] maps an item to its (lower-is-sooner) integer priority.
+    It only matters under [options.priority <> Prio_off]: each
+    generation is laid out as contiguous delta-stepping bucket runs
+    (bucket = [priority / delta], floor division; id order within a
+    bucket; the spread permutation applies per run) and rounds draw
+    their windows from the lowest non-empty bucket, never straddling
+    runs. The layout is a pure function of (ids, priorities, delta), so
+    the schedule stays deterministic; bucket opens are folded into the
+    digest and emitted as [Obs.Bucket_opened]/[Bucket_drained]. Omitting
+    [priority] under a prio policy puts every task in bucket 0. With
+    [Prio_off] (the default policy) the function is ignored and the
+    schedule is byte-identical to the unordered scheduler.
 
     [sink] receives the full round/phase event stream: per generation a
     [Generation_begin]; per round [Round_begin], [Inspect_done],

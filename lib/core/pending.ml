@@ -16,20 +16,72 @@
    ever clobbered, and the descending walk preserves the relative order
    of the kept tasks. *)
 
-type 'a t = { mutable buf : 'a array; mutable head : int; mutable len : int }
+type 'a t = {
+  mutable buf : 'a array;
+  mutable head : int;
+  mutable len : int;
+  (* Soft-priority bucket runs: the buffer is a concatenation of
+     contiguous segments ("runs"), one per delta-stepping bucket in
+     ascending bucket order; [run_buckets.(i)]/[run_counts.(i)] hold the
+     bucket index and remaining task count of run [i], [run_head] the
+     current (lowest non-empty) run. Failed tasks are compacted back in
+     front of their own run, so a run only shrinks when its tasks
+     commit. Empty arrays when the generation is unordered. *)
+  mutable run_buckets : int array;
+  mutable run_counts : int array;
+  mutable run_head : int;
+}
 
-let create () = { buf = [||]; head = 0; len = 0 }
+let create () =
+  { buf = [||]; head = 0; len = 0; run_buckets = [||]; run_counts = [||]; run_head = 0 }
 
 (* Takes ownership of [arr]: the deque compacts tasks within it in
    place. Callers must not reuse the array. *)
 let load t arr =
   t.buf <- arr;
   t.head <- 0;
-  t.len <- Array.length arr
+  t.len <- Array.length arr;
+  t.run_buckets <- [||];
+  t.run_counts <- [||];
+  t.run_head <- 0
+
+let load_runs t arr runs =
+  let total = Array.fold_left (fun a (_, c) -> a + c) 0 runs in
+  if total <> Array.length arr then
+    invalid_arg "Pending.load_runs: run sizes must sum to the task count";
+  if Array.exists (fun (_, c) -> c <= 0) runs then
+    invalid_arg "Pending.load_runs: runs must be non-empty";
+  load t arr;
+  t.run_buckets <- Array.map fst runs;
+  t.run_counts <- Array.map snd runs
 
 let length t = t.len
 
 let get t i = t.buf.(t.head + i)
+
+let current_run t =
+  if t.run_head >= Array.length t.run_buckets then None
+  else Some (t.run_buckets.(t.run_head), t.run_counts.(t.run_head))
+
+(* Window cap: never straddle a bucket boundary — the remaining tasks
+   of the current run, or everything when the generation is unordered. *)
+let window_avail t =
+  if t.run_head >= Array.length t.run_counts then t.len
+  else t.run_counts.(t.run_head)
+
+let note_dropped t dropped =
+  if t.run_head >= Array.length t.run_counts || dropped = 0 then None
+  else begin
+    let c = t.run_counts.(t.run_head) - dropped in
+    if c < 0 then invalid_arg "Pending.note_dropped: more drops than the current run holds";
+    t.run_counts.(t.run_head) <- c;
+    if c = 0 then begin
+      let b = t.run_buckets.(t.run_head) in
+      t.run_head <- t.run_head + 1;
+      Some b
+    end
+    else None
+  end
 
 let compact t ~w_use ~keep =
   if w_use < 0 || w_use > t.len then invalid_arg "Pending.compact";

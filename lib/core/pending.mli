@@ -12,13 +12,38 @@ val create : unit -> 'a t
 
 val load : 'a t -> 'a array -> unit
 (** [load t arr] replaces the contents with [arr], which the deque
-    takes ownership of (it is compacted in place). *)
+    takes ownership of (it is compacted in place). The generation is
+    unordered: {!window_avail} is the whole length. *)
+
+val load_runs : 'a t -> 'a array -> (int * int) array -> unit
+(** [load_runs t arr runs] is {!load} for a soft-priority generation:
+    [arr] is a concatenation of contiguous bucket runs (ascending
+    bucket order) and [runs] gives each run's [(bucket, size)]. Sizes
+    must be positive and sum to [Array.length arr], or
+    [Invalid_argument]. Windows ({!window_avail}) then never straddle a
+    run; {!note_dropped} tracks run drain. *)
 
 val length : 'a t -> int
 (** Number of pending tasks. *)
 
 val get : 'a t -> int -> 'a
 (** [get t i] is the [i]-th pending task, [0 <= i < length t]. *)
+
+val current_run : 'a t -> (int * int) option
+(** Bucket index and remaining task count of the current (lowest
+    non-empty) run; [None] for unordered generations or once every run
+    has drained. *)
+
+val window_avail : 'a t -> int
+(** Largest window a round may take: [length t] for unordered
+    generations, the current run's remaining count otherwise. *)
+
+val note_dropped : 'a t -> int -> int option
+(** [note_dropped t n] records that [n] window tasks committed (were
+    dropped by {!compact}). Returns [Some bucket] when that drains the
+    current run — the caller should open the next one — and [None]
+    otherwise. Always [None] for unordered generations. Raises
+    [Invalid_argument] if [n] exceeds the current run's remainder. *)
 
 val compact : 'a t -> w_use:int -> keep:(int -> bool) -> int
 (** [compact t ~w_use ~keep] ends a round over the window

@@ -5,6 +5,21 @@
    scheduling) is chosen at run time, e.g. from the command line — the
    paper's "on-demand" requirement (§1). *)
 
+type priority_mode =
+  | Prio_off
+      (* Unordered execution: generations are pure id order, the
+         original DIG behaviour. *)
+  | Prio_delta of int
+      (* Delta-stepping buckets of width [delta >= 1]: tasks whose
+         priority lands in a lower [priority / delta] bucket run in
+         earlier rounds. Bucket assignment is a pure function of
+         (priority, delta); intra-bucket order stays id order, so the
+         schedule is still deterministic. *)
+  | Prio_auto
+      (* Derive delta per generation from the priority range
+         (span / 64, at least 1) — parameterless, but still a pure
+         function of the generation's task set. *)
+
 type det_options = {
   target_ratio : float;
       (* Commit-ratio threshold of the adaptive window (§3.2). Below it
@@ -25,10 +40,23 @@ type det_options = {
       (* Debug: re-verify all neighborhood marks at commit instead of
          trusting the O(1) defeat flags. The two must agree; tests check
          this. *)
+  priority : priority_mode;
+      (* Soft-priority windows: when on, each generation is dealt into
+         delta-stepping buckets by the run's priority function and
+         rounds draw from the lowest non-empty bucket first. Off by
+         default — schedules (and digests) are unchanged unless asked
+         for. *)
 }
 
 let default_det =
-  { target_ratio = 0.9; initial_window = None; spread = 16; continuation = true; validate = false }
+  {
+    target_ratio = 0.9;
+    initial_window = None;
+    spread = 16;
+    continuation = true;
+    validate = false;
+    priority = Prio_off;
+  }
 
 module Det_options = struct
   type t = det_options = {
@@ -37,6 +65,7 @@ module Det_options = struct
     spread : int;
     continuation : bool;
     validate : bool;
+    priority : priority_mode;
   }
 
   let default = default_det
@@ -58,7 +87,13 @@ module Det_options = struct
   let with_continuation continuation t = { t with continuation }
   let with_validate validate t = { t with validate }
 
-  let make ?ratio ?window ?spread ?continuation ?validate () =
+  let with_priority priority t =
+    (match priority with
+    | Prio_delta d when d < 1 -> invalid_arg "Det_options.with_priority: delta must be >= 1"
+    | _ -> ());
+    { t with priority }
+
+  let make ?ratio ?window ?spread ?continuation ?validate ?priority () =
     let apply f o t = match o with Some v -> f v t | None -> t in
     default
     |> apply with_ratio ratio
@@ -66,6 +101,7 @@ module Det_options = struct
     |> apply with_spread spread
     |> apply with_continuation continuation
     |> apply with_validate validate
+    |> apply with_priority priority
 
   (* Keyed option grammar: "window=64,spread=1,ratio=0.95,cont=off,
      validate=on". [to_string] emits only the non-default keys, in that
@@ -76,8 +112,17 @@ module Det_options = struct
   let onoff = function true -> "on" | false -> "off"
 
   (* %.12g keeps human-entered ratios (0.95) readable while remaining
-     exact for anything with <= 12 significant digits. *)
-  let float_str f = Printf.sprintf "%.12g" f
+     exact for anything with <= 12 significant digits; values that need
+     more fall back to %.17g, which round-trips every float, so
+     [of_string (to_string t) = Ok t] holds for arbitrary ratios. *)
+  let float_str f =
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let prio_str = function
+    | Prio_off -> "off"
+    | Prio_delta d -> Printf.sprintf "delta:%d" d
+    | Prio_auto -> "auto"
 
   let to_string t =
     let d = default in
@@ -95,6 +140,7 @@ module Det_options = struct
     if t.target_ratio <> d.target_ratio then add "ratio" (float_str t.target_ratio);
     if t.continuation <> d.continuation then add "cont" (onoff t.continuation);
     if t.validate <> d.validate then add "validate" (onoff t.validate);
+    if t.priority <> d.priority then add "prio" (prio_str t.priority);
     Buffer.contents kv
 
   let of_string body =
@@ -139,6 +185,22 @@ module Det_options = struct
               | "validate" ->
                   let* b = parse_onoff "validate" v in
                   Ok { acc with validate = b }
+              | "prio" -> (
+                  match v with
+                  | "off" -> Ok { acc with priority = Prio_off }
+                  | "auto" -> Ok { acc with priority = Prio_auto }
+                  | _ when String.starts_with ~prefix:"delta:" v -> (
+                      let dv = String.sub v 6 (String.length v - 6) in
+                      match int_of_string_opt dv with
+                      | Some d when d >= 1 -> Ok { acc with priority = Prio_delta d }
+                      | _ ->
+                          Error
+                            (Printf.sprintf
+                               "option prio: expected delta:<int >= 1>, got %S" v))
+                  | _ ->
+                      Error
+                        (Printf.sprintf
+                           "option prio: expected off|auto|delta:<n>, got %S" v))
               | _ -> Error (Printf.sprintf "unknown option %S" k)
             in
             Ok (k :: seen, acc)

@@ -4,6 +4,16 @@
     at run time (typically from the command line), realizing the paper's
     on-demand determinism. *)
 
+type priority_mode =
+  | Prio_off  (** unordered: generations in pure id order (default) *)
+  | Prio_delta of int
+      (** delta-stepping buckets of width [delta >= 1]; bucket
+          [priority / delta] runs before higher buckets, id order within
+          a bucket *)
+  | Prio_auto
+      (** per-generation delta derived from the priority span — still a
+          pure function of the task set, so still deterministic *)
+
 type det_options = {
   target_ratio : float;
       (** Adaptive-window commit-ratio threshold (default 0.9). *)
@@ -15,6 +25,11 @@ type det_options = {
   validate : bool;
       (** Debug: re-verify neighborhood marks at commit in addition to
           the O(1) defeat flags. *)
+  priority : priority_mode;
+      (** Soft-priority windows over the run's priority function; rounds
+          draw from the lowest non-empty bucket first. [Prio_off]
+          (default) leaves schedules byte-identical to the unordered
+          scheduler. *)
 }
 
 val default_det : det_options
@@ -28,6 +43,7 @@ module Det_options : sig
     spread : int;
     continuation : bool;
     validate : bool;
+    priority : priority_mode;
   }
 
   val default : t
@@ -39,6 +55,7 @@ module Det_options : sig
     ?spread:int ->
     ?continuation:bool ->
     ?validate:bool ->
+    ?priority:priority_mode ->
     unit ->
     t
   (** Build from {!default}; each argument behaves like the
@@ -62,18 +79,23 @@ module Det_options : sig
   val with_continuation : bool -> t -> t
   val with_validate : bool -> t -> t
 
+  val with_priority : priority_mode -> t -> t
+  (** Raises [Invalid_argument] on [Prio_delta d] with [d < 1]. *)
+
   val to_string : t -> string
   (** Keyed form, e.g. ["window=64,spread=1,ratio=0.95,cont=off"]. Only
       non-default keys are emitted, in the fixed order [window],
-      [spread], [ratio], [cont], [validate]; the default prints as [""].
-      Round-trips through {!of_string} (floats up to 12 significant
-      digits). *)
+      [spread], [ratio], [cont], [validate], [prio]; the default prints
+      as [""]. Round-trips through {!of_string} for every value
+      (human-entered ratios stay short; pathological floats fall back to
+      a 17-digit render). *)
 
   val of_string : string -> (t, string) result
   (** Parse the keyed form, any key order. Keys: [window=<int>=1..|auto],
       [spread=<int>=1..], [ratio=<float>0..], [cont=on|off],
-      [validate=on|off]. Unknown keys, duplicate keys and out-of-range
-      values are rejected; [""] is {!default}. *)
+      [validate=on|off], [prio=off|auto|delta:<int>=1..]. Unknown keys,
+      duplicate keys and out-of-range values are rejected; [""] is
+      {!default}. *)
 end
 
 type t =
@@ -107,5 +129,4 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 (** Canonical render; non-default deterministic options reappear in the
-    bracketed keyed form, so [of_string (to_string p)] yields [p]
-    (floats up to 12 significant digits). *)
+    bracketed keyed form, so [of_string (to_string p)] yields [p]. *)

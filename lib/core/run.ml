@@ -35,6 +35,7 @@ type ('item, 'state) t = {
   pool_ : Pool.t option;
   record_ : bool;
   static_id_ : ('item -> int) option;
+  priority_ : ('item -> int) option;
   sink_ : Obs.sink;
   capture_ : bool;
   app_ : string;
@@ -55,6 +56,7 @@ let make ~operator items =
     pool_ = None;
     record_ = false;
     static_id_ = None;
+    priority_ = None;
     sink_ = Obs.null;
     capture_ = false;
     app_ = "";
@@ -71,6 +73,7 @@ let policy p t = { t with policy_ = p }
 let pool p t = { t with pool_ = Some p }
 let record t = { t with record_ = true }
 let static_id f t = { t with static_id_ = Some f }
+let priority f t = { t with priority_ = Some f }
 
 let sink s t = { t with sink_ = Obs.Sink.tee t.sink_ s }
 
@@ -216,8 +219,8 @@ let exec t =
         let resume = resume_boundary t in
         with_pool ?pool:t.pool_ threads (fun pool ->
             Det_sched.run ~record:t.record_ ~sink ?audit:audit_state ?checkpoint ?resume
-              ?stop_after:t.stop_after_ ~threads ~pool ~options ~static_id:t.static_id_
-              ~operator:t.operator t.items)
+              ?stop_after:t.stop_after_ ~threads ?priority:t.priority_ ~pool ~options
+              ~static_id:t.static_id_ ~operator:t.operator t.items)
   in
   emit
     (Obs.Run_end

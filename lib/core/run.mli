@@ -46,6 +46,15 @@ val static_id : ('item -> int) -> ('item, 'state) t -> ('item, 'state) t
 (** Deterministic-scheduler fast path for fixed task universes (§3.3);
     ignored by other policies. *)
 
+val priority : ('item -> int) -> ('item, 'state) t -> ('item, 'state) t
+(** Soft-priority hint: map each task to a (lower-is-sooner) integer
+    priority. Only consulted by det policies whose options carry
+    [prio=delta:<n>] or [prio=auto] ({!Policy.with_priority}) — the
+    scheduler then lays each generation out as delta-stepping bucket
+    runs and draws windows from the lowest non-empty bucket. Under the
+    default [prio=off] (and under serial/nondet policies) the hint is
+    ignored and schedules are byte-identical to runs without it. *)
+
 val sink : Obs.sink -> ('item, 'state) t -> ('item, 'state) t
 (** Stream observability events into [sink] during execution. May be
     called several times; all sinks receive every event. Sinks are

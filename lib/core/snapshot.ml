@@ -9,13 +9,13 @@
    Wire format, all integers little-endian:
 
      "GSNAP"  5-byte magic
-     u16      format version (currently 1)
+     u16      format version (currently 2; v2 added the b_delta field)
      u64      FNV-1a checksum of everything after this field
      body:
        str      app tag            (u64 length + bytes)
        str      options            (Det_options.to_string rendering)
        u8       static_id
-       i64 x5   rounds generations next_id gen_base window
+       i64 x6   rounds generations next_id gen_base window delta
        u64      digest prefix
        i64 x6   commits aborts acquired work created inspected
        i64      n_pending, then n_pending pending ids (deque order)
@@ -60,7 +60,7 @@ let error_to_string = function
   | Io what -> Printf.sprintf "snapshot i/o error: %s" what
 
 let magic = "GSNAP"
-let version = 1
+let version = 2
 
 (* --- encoding ---------------------------------------------------------- *)
 
@@ -81,6 +81,7 @@ let encode t =
   add_int body b.b_next_id;
   add_int body b.b_gen_base;
   add_int body b.b_window;
+  add_int body b.b_delta;
   Buffer.add_int64_le body b.b_digest;
   add_int body b.b_commits;
   add_int body b.b_aborts;
@@ -175,6 +176,7 @@ let decode s =
           let b_next_id = int () in
           let b_gen_base = int () in
           let b_window = int () in
+          let b_delta = int () in
           let b_digest = i64 () in
           let b_commits = int () in
           let b_aborts = int () in
@@ -213,6 +215,7 @@ let decode s =
                   b_next_id;
                   b_gen_base;
                   b_window;
+                  b_delta;
                   b_digest;
                   b_pending_ids;
                   b_pending_items;

@@ -62,6 +62,9 @@ type t = {
   parks : int;  (* pool-synchronization waits that parked on a condvar *)
   rounds : int;  (* deterministic scheduler rounds (0 for nondet/serial) *)
   generations : int;  (* sort generations of the deterministic scheduler *)
+  buckets : int;
+      (* soft-priority buckets opened by the deterministic scheduler
+         (0 when prio=off or for nondet/serial) *)
   digest : Trace_digest.t;
       (* Round-trace digest of the deterministic scheduler
          ([Trace_digest.absent] for nondet/serial): an FNV-1a fold of
@@ -72,8 +75,8 @@ type t = {
   phases : phase_times;  (* where [time_s] went, per scheduler phase *)
 }
 
-let merge ?(digest = Trace_digest.absent) ?phases ~threads ~rounds ~generations
-    ~time_s workers =
+let merge ?(digest = Trace_digest.absent) ?phases ?(buckets = 0) ~threads ~rounds
+    ~generations ~time_s workers =
   let commits = ref 0
   and aborts = ref 0
   and acquired = ref 0
@@ -108,6 +111,7 @@ let merge ?(digest = Trace_digest.absent) ?phases ~threads ~rounds ~generations
     parks = !parks;
     rounds;
     generations;
+    buckets;
     digest;
     time_s;
     phases =
@@ -132,6 +136,7 @@ let add a b =
     parks = a.parks + b.parks;
     rounds = a.rounds + b.rounds;
     generations = a.generations + b.generations;
+    buckets = a.buckets + b.buckets;
     digest = Trace_digest.combine a.digest b.digest;
     time_s = a.time_s +. b.time_s;
     phases =
@@ -156,6 +161,7 @@ let zero threads =
     parks = 0;
     rounds = 0;
     generations = 0;
+    buckets = 0;
     digest = Trace_digest.absent;
     time_s = 0.0;
     phases = no_phases;
@@ -179,10 +185,14 @@ let pp_phases ppf p =
 let pp_digest ppf d =
   if not (Trace_digest.is_absent d) then Fmt.pf ppf " digest=%a" Trace_digest.pp d
 
+(* Bucket count only appears under soft-priority scheduling; suppress
+   the column for the (common) unordered runs. *)
+let pp_buckets ppf b = if b > 0 then Fmt.pf ppf " buckets=%d" b
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>threads=%d commits=%d aborts=%d (ratio %.4f)@ acquires=%d atomics=%d work=%d created=%d@ \
-     inspections=%d rounds=%d generations=%d spins=%d parks=%d%a time=%.4fs@ %a@]"
+     inspections=%d rounds=%d generations=%d%a spins=%d parks=%d%a time=%.4fs@ %a@]"
     t.threads t.commits t.aborts (abort_ratio t) t.acquired t.atomics t.work_units t.created
-    t.inspected t.rounds t.generations t.spins t.parks pp_digest t.digest t.time_s
-    pp_phases t.phases
+    t.inspected t.rounds t.generations pp_buckets t.buckets t.spins t.parks pp_digest
+    t.digest t.time_s pp_phases t.phases

@@ -58,6 +58,9 @@ type t = {
   parks : int;  (** pool-sync waits that parked on a condvar *)
   rounds : int;
   generations : int;
+  buckets : int;
+      (** soft-priority buckets opened by the deterministic scheduler
+          (0 when [prio=off] and for nondet/serial) *)
   digest : Trace_digest.t;
       (** Round-trace digest of a deterministic execution
           ({!Trace_digest.absent} for nondet/serial). Two deterministic
@@ -71,6 +74,7 @@ type t = {
 val merge :
   ?digest:Trace_digest.t ->
   ?phases:phase_times ->
+  ?buckets:int ->
   threads:int ->
   rounds:int ->
   generations:int ->
@@ -78,7 +82,7 @@ val merge :
   worker array ->
   t
 (** When [phases] is omitted the whole of [time_s] is booked under
-    [other_s]. *)
+    [other_s]; [buckets] defaults to 0 (unordered execution). *)
 
 val add : t -> t -> t
 (** Combine consecutive executions (counters sum, times add, digests

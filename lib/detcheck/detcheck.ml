@@ -86,6 +86,22 @@ let lattice ~static_id_capable =
         static_id = false;
       };
       { label = "validate"; options = { base with validate = true }; static_id = false };
+      {
+        label = "prio=delta:8";
+        options = { base with priority = Galois.Policy.Prio_delta 8 };
+        static_id = false;
+      };
+      {
+        label = "prio=auto";
+        options = { base with priority = Galois.Policy.Prio_auto };
+        static_id = false;
+      };
+      {
+        label = "prio=auto+window=8";
+        options =
+          { base with priority = Galois.Policy.Prio_auto; initial_window = Some 8 };
+        static_id = false;
+      };
     ]
   in
   if static_id_capable then
@@ -226,6 +242,8 @@ module Gen = struct
     save_prob : float;  (* chance a task uses the continuation save *)
     work_max : int;  (* abstract work units bound *)
     unique_children : bool;  (* injective child keys: static_id-safe *)
+    prio_salt : int;  (* perturbing it moves tasks between buckets *)
+    prio_range : int;  (* priorities span [0, prio_range) *)
   }
 
   let random_params ~seed =
@@ -242,20 +260,30 @@ module Gen = struct
       (* Star serializes into one commit per round; keep it small. *)
       match topology with Star -> 8 + Splitmix.int g 32 | _ -> 20 + Splitmix.int g 120
     in
-    {
-      seed;
-      tasks;
-      locks = 4 + Splitmix.int g 40;
-      topology;
-      max_neigh = 1 + Splitmix.int g 4;
-      push_prob = Splitmix.float g *. 0.6;
-      max_children = 1 + Splitmix.int g 2;
-      max_depth = Splitmix.int g 3;
-      pure_prob = Splitmix.float g *. 0.5;
-      save_prob = Splitmix.float g;
-      work_max = 1 + Splitmix.int g 8;
-      unique_children = Splitmix.bool g;
-    }
+    let p =
+      {
+        seed;
+        tasks;
+        locks = 4 + Splitmix.int g 40;
+        topology;
+        max_neigh = 1 + Splitmix.int g 4;
+        push_prob = Splitmix.float g *. 0.6;
+        max_children = 1 + Splitmix.int g 2;
+        max_depth = Splitmix.int g 3;
+        pure_prob = Splitmix.float g *. 0.5;
+        save_prob = Splitmix.float g;
+        work_max = 1 + Splitmix.int g 8;
+        unique_children = Splitmix.bool g;
+        prio_salt = 0;
+        prio_range = 0;
+      }
+    in
+    (* Priority draws are appended after every pre-existing draw so that
+       case names, schedules and pinned digests from before the
+       soft-priority axis stay byte-identical. *)
+    let prio_salt = Splitmix.int g 1_000_000 in
+    let prio_range = 1 + Splitmix.int g 64 in
+    { p with prio_salt; prio_range }
 
   (* Per-item generator: every random choice a task makes is a function
      of (case seed, item) only, so re-executions of the task — inspect,
@@ -311,6 +339,14 @@ module Gen = struct
 
   let key_of (depth, key) = (depth * 10_000_019) + key
 
+  (* Task priority: a SplitMix hash of (salt, item) folded into
+     [0, prio_range). Pure in (params, item), so every re-execution and
+     every configuration sees the same bucket assignment; perturbing
+     [prio_salt] reshuffles the buckets (the positive control). *)
+  let priority_of p item =
+    if p.prio_range <= 1 then 0
+    else Splitmix.int (Splitmix.create ((p.prio_salt * 1_000_003) + token item)) p.prio_range
+
   let name_of_params p =
     Printf.sprintf "gen(seed=%d,%s,tasks=%d,locks=%d,depth=%d)" p.seed
       (topology_name p.topology) p.tasks p.locks p.max_depth
@@ -355,6 +391,7 @@ module Gen = struct
     let run =
       Galois.Run.make ~operator items
       |> Galois.Run.app "gen"
+      |> Galois.Run.priority (priority_of p)
       |> Galois.Run.snapshot_state
            ~save:(fun () -> Array.map (fun c -> !c) cells)
            ~restore:(fun saved -> Array.iteri (fun i v -> cells.(i) := v) saved)
@@ -399,6 +436,31 @@ module Gen = struct
 
   let case ~seed = case_of_params (random_params ~seed)
 end
+
+(* Positive control for the soft-priority axis: perturbing the bucket
+   assignment (the priority salt) must change the ordered schedule
+   digest — buckets are folded into it — while leaving the unordered
+   (prio=off) schedule untouched, since that path never consults
+   priorities. Failure on either side means the bucket plumbing is
+   dead and the prio lattice rows above prove nothing. *)
+let prio_salt_distinguished ?(threads = 2) ~seed () =
+  Galois.Pool.with_pool ~domains:threads (fun pool ->
+      (* Force a non-trivial priority range: a drawn range of 1 would
+         make every salt equivalent. *)
+      let p = { (Gen.random_params ~seed) with Gen.prio_range = 64 } in
+      let digest ~salt policy =
+        let case = Gen.case_of_params { p with Gen.prio_salt = salt } in
+        (case.run ~policy ~pool ~static_id:false).sched_digest
+      in
+      let ordered =
+        Galois.Policy.det
+          ~options:{ Galois.Policy.default_det with priority = Galois.Policy.Prio_delta 1 }
+          threads
+      in
+      let unordered = Galois.Policy.det threads in
+      let s = p.Gen.prio_salt in
+      (not (D.equal (digest ~salt:s ordered) (digest ~salt:(s + 1) ordered)))
+      && D.equal (digest ~salt:s unordered) (digest ~salt:(s + 1) unordered))
 
 (* ------------------------------------------------------------------ *)
 (* Existing applications as auditable cases                            *)

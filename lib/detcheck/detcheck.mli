@@ -52,7 +52,9 @@ type config = { label : string; options : Galois.Policy.det_options; static_id :
 val lattice : static_id_capable:bool -> config list
 (** The default configuration lattice: adaptive and pinned initial
     windows, locality spread on/off, continuation on/off, mark
-    validation, and (when the case permits) static ids. *)
+    validation, soft-priority bucketing ([prio=delta:8], [prio=auto],
+    [prio=auto] with a pinned small window), and (when the case
+    permits) static ids. *)
 
 val default_threads : int list
 (** [\[1; 2; 4; 8\]]. *)
@@ -85,6 +87,14 @@ val seeds_distinguished :
     the digest pipeline cannot signal divergence — every green audit is
     then meaningless. *)
 
+val prio_salt_distinguished : ?threads:int -> seed:int -> unit -> bool
+(** Positive control for the soft-priority axis: with a forced
+    non-trivial priority range, perturbing the bucket-assignment salt
+    must change the [prio=delta:1] schedule digest (buckets are folded
+    into it) while leaving the [prio=off] digest untouched. False means
+    the bucket plumbing is inert and the prio lattice rows prove
+    nothing. *)
+
 (** Property-based random cases over {!Parallel.Splitmix}: random
     conflict-lock topologies and random synthetic operators (randomized
     acquire sets, failsafe placement, continuation saves, work reports
@@ -107,12 +117,26 @@ module Gen : sig
     save_prob : float;
     work_max : int;
     unique_children : bool;
+    prio_salt : int;
+        (** seeds the per-task priority hash; perturbing it moves tasks
+            between delta-stepping buckets (see
+            {!prio_salt_distinguished}) *)
+    prio_range : int;  (** priorities span [\[0, prio_range)] *)
   }
 
   val random_params : seed:int -> params
+  (** The priority draws are appended after every pre-existing draw, so
+      names, schedules and digests of cases pinned before the
+      soft-priority axis are unchanged. *)
 
   val name_of_params : params -> string
   (** The case name [case_of_params] would report. *)
+
+  val priority_of : params -> int * int -> int
+  (** The per-task priority hash: pure in (params, item), in
+      [\[0, prio_range)] (0 when [prio_range <= 1]). Attached to every
+      generated run via {!Galois.Run.priority} — inert under the
+      default [prio=off] configurations. *)
 
   type instance = {
     run : (int * int, int) Galois.Run.t;

@@ -34,6 +34,8 @@ type event =
       spins : int;
       parks : int;
     }
+  | Bucket_opened of { generation : int; bucket : int; size : int }
+  | Bucket_drained of { round : int; bucket : int }
   | Checkpoint_taken of { round : int; digest : string }
   | Resumed of { round : int; digest : string }
   | Audit_finding of { round : int; rule : string; task : int; other : int; lid : int }
@@ -44,8 +46,8 @@ type stamped = { at_s : float; event : event }
 let deterministic = function
   | Run_begin _ | Phase_time _ | Chunk_sized _ | Worker_counters _ -> false
   | Generation_begin _ | Round_begin _ | Inspect_done _ | Select_done _
-  | Execute_done _ | Window_adapted _ | Checkpoint_taken _ | Resumed _
-  | Audit_finding _ | Run_end _ ->
+  | Execute_done _ | Window_adapted _ | Bucket_opened _ | Bucket_drained _
+  | Checkpoint_taken _ | Resumed _ | Audit_finding _ | Run_end _ ->
       true
 
 let pp_event ppf = function
@@ -79,6 +81,11 @@ let pp_event ppf = function
          parks=%d"
         worker committed aborted acquires atomics work pushes inspections
         chunks spins parks
+  | Bucket_opened { generation; bucket; size } ->
+      Fmt.pf ppf "bucket-opened generation=%d bucket=%d size=%d" generation
+        bucket size
+  | Bucket_drained { round; bucket } ->
+      Fmt.pf ppf "bucket-drained round=%d bucket=%d" round bucket
   | Checkpoint_taken { round; digest } ->
       Fmt.pf ppf "checkpoint-taken round=%d digest=%s" round digest
   | Resumed { round; digest } -> Fmt.pf ppf "resumed round=%d digest=%s" round digest
@@ -238,6 +245,12 @@ module Jsonl = struct
            ("atomics", I atomics); ("work", I work); ("pushes", I pushes);
            ("inspections", I inspections); ("chunks", I chunks);
            ("spins", I spins); ("parks", I parks) ])
+    | Bucket_opened { generation; bucket; size } ->
+        ("bucket_opened",
+         [ ("generation", I generation); ("bucket", I bucket);
+           ("size", I size) ])
+    | Bucket_drained { round; bucket } ->
+        ("bucket_drained", [ ("round", I round); ("bucket", I bucket) ])
     | Checkpoint_taken { round; digest } ->
         ("checkpoint_taken", [ ("round", I round); ("digest", S digest) ])
     | Resumed { round; digest } ->
@@ -477,6 +490,12 @@ module Jsonl = struct
             chunks = get_int fs "chunks";
             spins = get_int fs "spins";
             parks = get_int fs "parks" }
+    | "bucket_opened" ->
+        Bucket_opened
+          { generation = get_int fs "generation"; bucket = get_int fs "bucket";
+            size = get_int fs "size" }
+    | "bucket_drained" ->
+        Bucket_drained { round = get_int fs "round"; bucket = get_int fs "bucket" }
     | "checkpoint_taken" ->
         Checkpoint_taken
           { round = get_int fs "round"; digest = get_string fs "digest" }

@@ -73,6 +73,16 @@ type event =
           waits that parked on the condvar slow path). Task→worker
           attribution and synchronization behavior depend on timing, so
           these are not deterministic. *)
+  | Bucket_opened of { generation : int; bucket : int; size : int }
+      (** Soft-priority scheduling ([prio=delta:<n>|auto]) started
+          drawing windows from delta-stepping bucket [bucket] of
+          [generation], holding [size] tasks. Bucket membership is
+          [priority / delta] — a pure function of the task set — so the
+          event is deterministic. *)
+  | Bucket_drained of { round : int; bucket : int }
+      (** The last task of bucket [bucket] left the pending window after
+          [round] (committed or carried to the next generation); the
+          next round draws from the following non-empty bucket. *)
   | Checkpoint_taken of { round : int; digest : string }
       (** A round-boundary snapshot was captured after [round], with the
           digest prefix through that round (hex). Emitted only when

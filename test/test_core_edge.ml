@@ -76,6 +76,7 @@ let det_option_matrix =
         spread = 1;
         continuation = false;
         validate = true;
+        priority = Galois.Policy.Prio_off;
       } );
   ]
 

@@ -172,6 +172,77 @@ let test_pending_compact_random () =
     done
   done
 
+(* --- Pending bucket runs (soft-priority generations) ------------------ *)
+
+let test_pending_runs_cases () =
+  let p = P.create () in
+  (* Unordered load: no runs, the whole deque is available. *)
+  P.load p [| 1; 2; 3 |];
+  check_int "unordered avail" 3 (P.window_avail p);
+  Alcotest.(check bool) "unordered has no run" true (P.current_run p = None);
+  Alcotest.(check bool) "unordered never drains" true (P.note_dropped p 2 = None);
+  (* Three runs: windows are capped at the current run, drains are
+     reported exactly when a run empties, in order. *)
+  P.load_runs p [| 10; 11; 20; 30; 31; 32 |] [| (1, 2); (4, 1); (9, 3) |];
+  Alcotest.(check bool) "first run" true (P.current_run p = Some (1, 2));
+  check_int "avail is run remainder" 2 (P.window_avail p);
+  Alcotest.(check bool) "partial drop keeps run" true (P.note_dropped p 1 = None);
+  Alcotest.(check bool) "run shrank" true (P.current_run p = Some (1, 1));
+  Alcotest.(check bool) "draining reports bucket" true (P.note_dropped p 1 = Some 1);
+  Alcotest.(check bool) "second run" true (P.current_run p = Some (4, 1));
+  check_int "avail follows" 1 (P.window_avail p);
+  Alcotest.(check bool) "second drains" true (P.note_dropped p 1 = Some 4);
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "overdrop rejected" true (raises (fun () -> P.note_dropped p 4));
+  Alcotest.(check bool) "third drains" true (P.note_dropped p 3 = Some 9);
+  Alcotest.(check bool) "all runs spent" true (P.current_run p = None);
+  (* A zero-count drop is a no-op even on a live run. *)
+  P.load_runs p [| 7 |] [| (0, 1) |];
+  Alcotest.(check bool) "zero drop is a no-op" true (P.note_dropped p 0 = None);
+  (* load_runs validation. *)
+  Alcotest.(check bool) "sizes must sum" true
+    (raises (fun () -> P.load_runs p [| 1; 2 |] [| (0, 1) |]));
+  Alcotest.(check bool) "sizes must be positive" true
+    (raises (fun () -> P.load_runs p [| 1 |] [| (0, 1); (1, 0) |]))
+
+let test_pending_runs_random () =
+  (* Drive the deque exactly as the scheduler does — window capped at
+     window_avail, compact, note_dropped — and require that every
+     bucket drains exactly once, in ascending order, with the window
+     never straddling a run. *)
+  let rng = Sm.create 0xfeed in
+  for _ = 1 to 200 do
+    let nruns = 1 + Sm.int rng 6 in
+    let bucket = ref (-5) in
+    let runs =
+      Array.init nruns (fun _ ->
+          bucket := !bucket + 1 + Sm.int rng 3;
+          (!bucket, 1 + Sm.int rng 8))
+    in
+    let total = Array.fold_left (fun a (_, c) -> a + c) 0 runs in
+    let p = P.create () in
+    P.load_runs p (Array.init total Fun.id) runs;
+    let drained = ref [] in
+    while P.length p > 0 do
+      let avail = P.window_avail p in
+      (match P.current_run p with
+      | Some (_, c) -> check_int "avail equals run remainder" c avail
+      | None -> Alcotest.fail "live deque without a current run");
+      let w_use = 1 + Sm.int rng avail in
+      let keep_set = Array.init w_use (fun _ -> Sm.bool rng) in
+      keep_set.(Sm.int rng w_use) <- false;
+      let dropped = P.compact p ~w_use ~keep:(fun i -> keep_set.(i)) in
+      match P.note_dropped p dropped with
+      | Some b -> drained := b :: !drained
+      | None -> ()
+    done;
+    Alcotest.(check (list int))
+      "buckets drain once each, ascending"
+      (Array.to_list (Array.map fst runs))
+      (List.rev !drained);
+    Alcotest.(check bool) "no run left" true (P.current_run p = None)
+  done
+
 (* --- round-stamped marks: the release-free protocol ------------------- *)
 
 let test_stale_marks_across_rounds () =
@@ -288,6 +359,8 @@ let suite =
     Alcotest.test_case "window: proportional shrink" `Quick test_window_shrink_proportional;
     Alcotest.test_case "pending: compact cases" `Quick test_pending_compact_cases;
     Alcotest.test_case "pending: compact random model" `Quick test_pending_compact_random;
+    Alcotest.test_case "pending: bucket-run cases" `Quick test_pending_runs_cases;
+    Alcotest.test_case "pending: bucket-run random model" `Quick test_pending_runs_random;
     Alcotest.test_case "stamps: stale marks invisible across rounds" `Quick
       test_stale_marks_across_rounds;
     Alcotest.test_case "stamps: epochs monotone" `Quick test_epochs_monotone;

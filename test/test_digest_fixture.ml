@@ -34,7 +34,7 @@ let cases () =
     Detcheck.App_cases.dmr ~points:90 ~seed:7;
   ]
 
-let observed pool =
+let observe_configs configs pool =
   List.concat_map
     (fun (case : Detcheck.case) ->
       List.map
@@ -47,8 +47,20 @@ let observed pool =
           Printf.sprintf "%s|%s|%s|%s" case.name cfg.label
             (D.to_hex r.sched_digest)
             (D.to_hex (D.fold_string D.seed r.det_trace)))
-        (Detcheck.lattice ~static_id_capable:case.static_id_capable))
+        (configs ~static_id_capable:case.static_id_capable))
     (cases ())
+
+(* The pinned pre-rework table covers the unordered configurations
+   only: the soft-priority axis landed later and has its own table
+   below, so the lattice's prio rows are filtered out here — those
+   configurations did not exist when this table was captured, and
+   prio=off runs must still hit it byte-for-byte. *)
+let observed =
+  observe_configs (fun ~static_id_capable ->
+      List.filter
+        (fun (cfg : Detcheck.config) ->
+          cfg.options.Galois.Policy.priority = Galois.Policy.Prio_off)
+        (Detcheck.lattice ~static_id_capable))
 
 (* case|config|sched-digest|det-event-stream-digest — pre-rework DIG
    scheduler, captured 2026-08-06. *)
@@ -115,6 +127,103 @@ let test_fixture () =
     List.iter2
       (fun e g -> Alcotest.(check string) "schedule digest pinned" e g)
       expected got
+  end
+
+(* Soft-priority fixture: the same eight cases under ordered
+   configurations, captured when the delta-stepping bucket axis landed.
+   Pins the bucket layout (floor-division bucketing, id order within a
+   bucket, per-run spread), the digest folds (generation length, delta,
+   per-run (bucket, size) at each open) and the Bucket_opened /
+   Bucket_drained event stream. Regenerate like the table above — only
+   for an intentional change to ordered scheduling. *)
+let prio_configs ~static_id_capable:_ =
+  let base = Galois.Policy.default_det in
+  let prio p = { base with Galois.Policy.priority = p } in
+  [
+    {
+      Detcheck.label = "prio=delta:1";
+      options = prio (Galois.Policy.Prio_delta 1);
+      static_id = false;
+    };
+    {
+      Detcheck.label = "prio=delta:8";
+      options = prio (Galois.Policy.Prio_delta 8);
+      static_id = false;
+    };
+    { Detcheck.label = "prio=auto"; options = prio Galois.Policy.Prio_auto; static_id = false };
+    {
+      Detcheck.label = "prio=auto+window=8";
+      options = { (prio Galois.Policy.Prio_auto) with initial_window = Some 8 };
+      static_id = false;
+    };
+    {
+      Detcheck.label = "prio=delta:2+spread=1";
+      options = { (prio (Galois.Policy.Prio_delta 2)) with spread = 1 };
+      static_id = false;
+    };
+  ]
+
+let observed_prio = observe_configs prio_configs
+
+(* case|config|sched-digest|det-event-stream-digest — soft-priority
+   scheduler, captured 2026-08-07. Apps without a priority hint (bfs,
+   boruvka, dmr) land in a single bucket 0: their event streams agree
+   across deltas (bucket events carry no delta) while their schedule
+   digests still pin the folded delta value. *)
+let expected_prio =
+  [
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|prio=delta:1|fb31015e13d95772|729c1065baadcf24";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|prio=delta:8|5e058afff5366a75|5ff722e77492d6bd";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|prio=auto|fb31015e13d95772|729c1065baadcf24";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|prio=auto+window=8|fb31015e13d95772|1e77c32e9c583528";
+    "gen(seed=1,subsets,tasks=42,locks=16,depth=1)|prio=delta:2+spread=1|3db1031494af8738|41e88c848ef813d5";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|prio=delta:1|2b050644a963eeaf|df93a2c510b79677";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|prio=delta:8|9aedb8ed9e2f6925|fe42f98fb75d005d";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|prio=auto|2b050644a963eeaf|df93a2c510b79677";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|prio=auto+window=8|2b050644a963eeaf|fa44c866aeda49ee";
+    "gen(seed=2,subsets,tasks=125,locks=31,depth=2)|prio=delta:2+spread=1|70157c6bdd664815|177a2cc6856b86d7";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|prio=delta:1|e3eb338cf31609c5|c7b307499664544d";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|prio=delta:8|0186b66193afa72b|dfcd229c5b1cd4c8";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|prio=auto|e3eb338cf31609c5|c7b307499664544d";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|prio=auto+window=8|8bf9e5e447e2a1c6|c30061a6934d2070";
+    "gen(seed=3,bipartite,tasks=63,locks=36,depth=2)|prio=delta:2+spread=1|14c90f140053b26d|61f7b36e35f96285";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|prio=delta:1|98a212eafe61274d|3c2c42cfdf3e8d85";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|prio=delta:8|fa018174693e2f79|08d45f47d6501129";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|prio=auto|98a212eafe61274d|3c2c42cfdf3e8d85";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|prio=auto+window=8|98a212eafe61274d|042c18ec296ee6e6";
+    "gen(seed=42,clusters,tasks=43,locks=31,depth=0)|prio=delta:2+spread=1|5ef7f6a634265fed|8d3aa302a6bec787";
+    "bfs(n=300,seed=7)|prio=delta:1|850a65242c4c2ba3|fc835cfe3ed25906";
+    "bfs(n=300,seed=7)|prio=delta:8|71c48038a55c3c22|fc835cfe3ed25906";
+    "bfs(n=300,seed=7)|prio=auto|850a65242c4c2ba3|fc835cfe3ed25906";
+    "bfs(n=300,seed=7)|prio=auto+window=8|850a65242c4c2ba3|c0968f15ae5abbec";
+    "bfs(n=300,seed=7)|prio=delta:2+spread=1|a66da4595ee8966d|36bd548e847590e8";
+    "sssp(n=300,seed=7)|prio=delta:1|d032ff75ff89f6a4|f0bae2ef9fbce847";
+    "sssp(n=300,seed=7)|prio=delta:8|d871d9320d980897|b54ac63a5511973b";
+    "sssp(n=300,seed=7)|prio=auto|4ecb54fd2c873f30|f6d4a9c5e3bb46c5";
+    "sssp(n=300,seed=7)|prio=auto+window=8|4ecb54fd2c873f30|76563fef8540f536";
+    "sssp(n=300,seed=7)|prio=delta:2+spread=1|8bd80ba80b009414|efd8875034d0f387";
+    "boruvka(n=300,seed=7)|prio=delta:1|00e525b936d90cf9|70e6bfd73bf89c6b";
+    "boruvka(n=300,seed=7)|prio=delta:8|faca16a9a09a7f65|70e6bfd73bf89c6b";
+    "boruvka(n=300,seed=7)|prio=auto|00e525b936d90cf9|70e6bfd73bf89c6b";
+    "boruvka(n=300,seed=7)|prio=auto+window=8|ea8f82713dfa0f80|5342c5b7736fdb6d";
+    "boruvka(n=300,seed=7)|prio=delta:2+spread=1|8702a85bf164ee2f|d21941e6f9de9ca9";
+    "dmr(points=90,seed=7)|prio=delta:1|989e48e31d625f8d|624586512e584fef";
+    "dmr(points=90,seed=7)|prio=delta:8|085035d6c3e2e424|624586512e584fef";
+    "dmr(points=90,seed=7)|prio=auto|989e48e31d625f8d|624586512e584fef";
+    "dmr(points=90,seed=7)|prio=auto+window=8|ef7007f1208d2c42|c785d7f04971a50a";
+    "dmr(points=90,seed=7)|prio=delta:2+spread=1|5ee435d52c143cce|983a38ecd21c2088";
+  ]
+
+let test_prio_fixture () =
+  let got = Galois.Pool.with_pool ~domains:2 observed_prio in
+  if Sys.getenv_opt "FIXTURE_PRINT" <> None then
+    List.iter print_endline got
+  else begin
+    Alcotest.(check int) "prio fixture size" (List.length expected_prio)
+      (List.length got);
+    List.iter2
+      (fun e g -> Alcotest.(check string) "ordered schedule digest pinned" e g)
+      expected_prio got
   end
 
 (* Pool-reuse determinism: the whole 50-point fixture run twice on one
@@ -192,6 +301,7 @@ let test_resume_reproduces_pinned () =
 let suite =
   [
     Alcotest.test_case "pre-rework schedule digests" `Slow test_fixture;
+    Alcotest.test_case "soft-priority schedule digests" `Slow test_prio_fixture;
     Alcotest.test_case "pool reuse is schedule-neutral" `Slow test_pool_reuse;
     Alcotest.test_case "midpoint resume hits pinned digests" `Slow
       test_resume_reproduces_pinned;

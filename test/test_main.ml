@@ -21,6 +21,7 @@ let () =
       ("detreserve", Test_detreserve.suite);
       ("apps", Test_apps.suite);
       ("apps2", Test_apps2.suite);
+      ("kcore", Test_kcore.suite);
       ("audit", Test_audit.suite);
       ("detlint", Test_detlint.suite);
       ("simmachine", Test_simmachine.suite);

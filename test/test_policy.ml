@@ -23,10 +23,15 @@ let test_roundtrips () =
   check_string "full option block"
     "det:8[window=64,spread=1,ratio=0.95,cont=off]"
     (roundtrip "det:8[window=64,spread=1,ratio=0.95,cont=off]");
-  (* Key order is normalized to window,spread,ratio,cont,validate. *)
+  (* Key order is normalized to window,spread,ratio,cont,validate,prio. *)
   check_string "key order normalized"
     "det:2[window=8,ratio=0.5,validate=on]"
     (roundtrip "det:2[validate=on,ratio=0.5,window=8]");
+  check_string "prio=off is the default" "det:4" (roundtrip "det:4[prio=off]");
+  check_string "prio=auto" "det:4[prio=auto]" (roundtrip "det:4[prio=auto]");
+  check_string "prio=delta:16" "det:4[prio=delta:16]" (roundtrip "det:4[prio=delta:16]");
+  check_string "prio normalized last" "det:2[window=8,prio=delta:4]"
+    (roundtrip "det:2[prio=delta:4,window=8]");
   (* to_string output parses back to the same policy. *)
   let p = P.det 3 ~options:(O.make ~spread:4 ~continuation:false ()) in
   (match P.of_string (P.to_string p) with
@@ -60,6 +65,15 @@ let test_rejects () =
   (* duplicate key *)
   reject "det:2[window=]";
   reject "det:2[window]";
+  reject "det:2[prio=maybe]";
+  reject "det:2[prio=delta]";
+  (* delta needs a width *)
+  reject "det:2[prio=delta:]";
+  reject "det:2[prio=delta:0]";
+  reject "det:2[prio=delta:-3]";
+  reject "det:2[prio=delta:four]";
+  reject "det:2[prio=auto,prio=auto]";
+  (* duplicate key *)
   reject "serial[window=8]" (* options only make sense for det *)
 
 let test_make_and_setters () =
@@ -82,7 +96,15 @@ let test_make_and_setters () =
   check_bool "ratio 0 rejected" true (raises (fun () -> O.with_ratio 0.0 O.default));
   check_bool "negative ratio rejected" true (raises (fun () -> O.with_ratio (-1.0) O.default));
   check_bool "window 0 rejected" true (raises (fun () -> O.with_window (Some 0) O.default));
-  check_bool "spread 0 rejected" true (raises (fun () -> O.with_spread 0 O.default))
+  check_bool "spread 0 rejected" true (raises (fun () -> O.with_spread 0 O.default));
+  check_bool "priority via make" true
+    ((O.make ~priority:(P.Prio_delta 8) ()).P.priority = P.Prio_delta 8);
+  check_bool "with_priority composes" true
+    ((O.default |> O.with_priority P.Prio_auto).P.priority = P.Prio_auto);
+  check_bool "delta 0 rejected" true
+    (raises (fun () -> O.with_priority (P.Prio_delta 0) O.default));
+  check_bool "negative delta rejected" true
+    (raises (fun () -> O.with_priority (P.Prio_delta (-1)) O.default))
 
 let test_options_to_string () =
   check_string "default is empty" "" (O.to_string O.default);
@@ -95,6 +117,52 @@ let test_options_to_string () =
   | Ok o' -> check_bool "float round-trip" true (o'.P.target_ratio = 0.925)
   | Error e -> Alcotest.fail e
 
+(* Property fuzz: to_string / of_string must be exact inverses over the
+   full keyed grammar. Options are drawn at random — including ratios
+   whose shortest 12-digit rendering is lossy and need the 17-digit
+   fallback — rendered, reparsed and compared structurally; the
+   rendering must also be a fixpoint (a second round-trip yields the
+   same string). *)
+let test_roundtrip_fuzz () =
+  let module S = Parallel.Splitmix in
+  let g = S.create 2014 in
+  for i = 1 to 1000 do
+    let ratio =
+      match S.int g 5 with
+      | 0 -> 0.95 (* the default: exercises key omission *)
+      | 1 -> float_of_int (1 + S.int g 40) /. 20.0
+      | 2 -> S.float g +. 1e-6 (* full-precision mantissas: %.17g fallback *)
+      | 3 -> 1.0 /. float_of_int (3 + S.int g 97)
+      | _ -> Float.succ (float_of_int (1 + S.int g 4) *. 0.1)
+    in
+    let window = if S.bool g then None else Some (1 + S.int g 1000) in
+    let priority =
+      match S.int g 3 with
+      | 0 -> P.Prio_off
+      | 1 -> P.Prio_auto
+      | _ -> P.Prio_delta (1 + S.int g 1000)
+    in
+    let o =
+      O.make ~ratio ~window ~spread:(1 + S.int g 8) ~continuation:(S.bool g)
+        ~validate:(S.bool g) ~priority ()
+    in
+    let s = O.to_string o in
+    (match O.of_string s with
+    | Ok o' ->
+        if o' <> o then Alcotest.failf "draw %d: %S reparsed to a different option set" i s;
+        let s' = O.to_string o' in
+        if not (String.equal s s') then
+          Alcotest.failf "draw %d: rendering not a fixpoint (%S vs %S)" i s s'
+    | Error e -> Alcotest.failf "draw %d: own rendering %S rejected: %s" i s e);
+    (* And through the full policy grammar. *)
+    let p = P.det ~options:o (1 + S.int g 16) in
+    match P.of_string (P.to_string p) with
+    | Ok p' ->
+        if p' <> p then
+          Alcotest.failf "draw %d: policy %S reparsed differently" i (P.to_string p)
+    | Error e -> Alcotest.failf "draw %d: policy %S rejected: %s" i (P.to_string p) e
+  done
+
 let test_grammar_and_pp () =
   check_string "grammar string" "serial | nondet[:T] | det[:T][k=v,...]" P.grammar;
   check_string "pp agrees with to_string" (P.to_string (P.det 2)) (Fmt.str "%a" P.pp (P.det 2))
@@ -105,5 +173,6 @@ let suite =
     Alcotest.test_case "policy string rejects" `Quick test_rejects;
     Alcotest.test_case "Det_options.make and setters" `Quick test_make_and_setters;
     Alcotest.test_case "Det_options.to_string" `Quick test_options_to_string;
+    Alcotest.test_case "round-trip property fuzz" `Quick test_roundtrip_fuzz;
     Alcotest.test_case "grammar and pp" `Quick test_grammar_and_pp;
   ]

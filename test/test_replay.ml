@@ -192,6 +192,7 @@ let sample_snapshot () =
       b_next_id = 40;
       b_gen_base = 30;
       b_window = 16;
+      b_delta = 4;
       b_digest = D.fold_int D.seed 12345;
       b_pending_ids = [| 31; 34; 33 |];
       b_pending_items = [| (31, 0); (34, 1); (33, 2) |];
